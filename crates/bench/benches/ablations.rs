@@ -1,0 +1,81 @@
+//! Ablation study of the design choices DESIGN.md calls out. Each
+//! benchmark runs the full evaluate() pipeline under a variant and reports
+//! the resulting network-latency reduction through Criterion's
+//! measurement output (the metric of interest is printed; the timing is
+//! incidental).
+//!
+//! Variants:
+//! * η metric: L1 (paper) vs L2 vs cosine
+//! * α policy: estimated-from-hits (paper) vs fixed 0 / 0.5 / 1
+//! * load balancing: on (paper) vs off
+//! * within-region placement: random (paper) vs round-robin vs least-loaded
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locmap_bench::{evaluate, Experiment, Scheme};
+use locmap_core::{AlphaPolicy, EtaMetric, LlcOrg, PlacementPolicy};
+use locmap_workloads::{build, Scale};
+
+fn report(label: &str, exp: &Experiment) {
+    let w = build("moldyn", Scale::new(0.4));
+    let out = evaluate(&w, exp, Scheme::LocationAware);
+    println!(
+        "[ablation] {label}: net -{:.1}%, exec -{:.1}%, moved {:.0}%",
+        out.net_reduction_pct(),
+        out.exec_improvement_pct(),
+        out.frac_moved * 100.0
+    );
+}
+
+fn ablate_eta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eta_metric");
+    g.sample_size(10);
+    for (name, m) in [("l1", EtaMetric::L1), ("l2", EtaMetric::L2), ("cosine", EtaMetric::Cosine)]
+    {
+        let mut exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+        exp.opts.eta = m;
+        report(&format!("eta={name}"), &exp);
+        let w = build("moldyn", Scale::new(0.25));
+        g.bench_function(name, |b| b.iter(|| evaluate(&w, &exp, Scheme::LocationAware).opt_cycles));
+    }
+    g.finish();
+}
+
+fn ablate_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alpha_policy");
+    g.sample_size(10);
+    for (name, a) in [
+        ("from-hits", AlphaPolicy::FromHits),
+        ("fixed-0", AlphaPolicy::Fixed(0.0)),
+        ("fixed-0.5", AlphaPolicy::Fixed(0.5)),
+        ("fixed-1", AlphaPolicy::Fixed(1.0)),
+    ] {
+        let mut exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+        exp.opts.alpha = a;
+        report(&format!("alpha={name}"), &exp);
+        let w = build("moldyn", Scale::new(0.25));
+        g.bench_function(name, |b| b.iter(|| evaluate(&w, &exp, Scheme::LocationAware).opt_cycles));
+    }
+    g.finish();
+}
+
+fn ablate_balance_and_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balance_placement");
+    g.sample_size(10);
+    for (name, balance, placement) in [
+        ("balanced+random", true, PlacementPolicy::Random { seed: 0x5eed }),
+        ("unbalanced", false, PlacementPolicy::Random { seed: 0x5eed }),
+        ("balanced+roundrobin", true, PlacementPolicy::RoundRobin),
+        ("balanced+leastloaded", true, PlacementPolicy::LeastLoaded),
+    ] {
+        let mut exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+        exp.opts.balance = balance;
+        exp.opts.placement = placement;
+        report(name, &exp);
+        let w = build("moldyn", Scale::new(0.25));
+        g.bench_function(name, |b| b.iter(|| evaluate(&w, &exp, Scheme::LocationAware).opt_cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_eta, ablate_alpha, ablate_balance_and_placement);
+criterion_main!(benches);

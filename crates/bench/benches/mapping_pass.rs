@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the compiler pass itself: affinity-vector
+//! computation, CME estimation, assignment, balancing and placement.
+//! These measure the cost a build system would pay for the optimization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use locmap_core::{Compiler, MappingOptions, Platform};
+use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
+
+fn streaming_program(n: u64, refs: usize) -> Program {
+    let mut p = Program::new("bench");
+    let mut nest = LoopNest::rectangular("n", &[n as i64]).work(16);
+    for i in 0..refs {
+        let a = p.add_array(format!("A{i}"), 8, n);
+        let acc = if i == 0 { Access::Write } else { Access::Read };
+        nest.add_ref(a, AffineExpr::var(0, 1), acc);
+    }
+    p.add_nest(nest);
+    p
+}
+
+fn bench_map_nest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_nest");
+    for &n in &[20_000u64, 100_000] {
+        let p = streaming_program(n, 4);
+        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let data = DataEnv::new();
+        g.bench_function(format!("cme+assign+balance n={n}"), |b| {
+            b.iter(|| compiler.map_nest(&p, locmap_loopir::NestId(0), &data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_affinity_only(c: &mut Criterion) {
+    use locmap_core::{compute_mai, AffinityInputs, AllMissModel};
+    use locmap_loopir::IterationSpace;
+    let p = streaming_program(100_000, 4);
+    let nest = &p.nests()[0];
+    let space = IterationSpace::enumerate(nest, &p.params());
+    let sets = space.split_by_fraction(0.0025);
+    let platform = Platform::paper_default();
+    let data = DataEnv::new();
+    c.bench_function("compute_mai 100k iters x 4 refs", |b| {
+        let inputs = AffinityInputs::full(&p, nest, &space, &sets, &data);
+        b.iter(|| compute_mai(&inputs, &platform, &AllMissModel))
+    });
+}
+
+fn bench_balance(c: &mut Criterion) {
+    use locmap_core::balance_regions;
+    use locmap_noc::{Mesh, RegionGrid, RegionId};
+    let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+    c.bench_function("balance 4000 skewed sets", |b| {
+        b.iter_batched(
+            || (0..4000).map(|i| RegionId((i % 3) as u16)).collect::<Vec<_>>(),
+            |mut a| balance_regions(&mut a, &grid, &|_, _| 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_map_nest, bench_affinity_only, bench_balance);
+criterion_main!(benches);

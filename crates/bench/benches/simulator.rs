@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the simulation substrate: NoC message
+//! throughput, cache access throughput, DRAM scheduling, and whole-nest
+//! simulation speed (accesses simulated per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use locmap_core::{Compiler, MappingOptions, Platform};
+use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
+use locmap_mem::{Access as MemAccess, AddrMap, AddrMapConfig, Cache, CacheConfig, Dram, DramConfig, PhysAddr};
+use locmap_noc::{Mesh, MessageKind, Network, NocConfig, NodeId};
+use locmap_sim::{SimConfig, Simulator};
+
+fn bench_network(c: &mut Criterion) {
+    let mesh = Mesh::new(6, 6);
+    let mut g = c.benchmark_group("network");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("send 10k messages", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NocConfig::default(), mesh);
+            let mut t = 0u64;
+            for i in 0..10_000u64 {
+                let src = NodeId((i % 36) as u16);
+                let dst = NodeId(((i * 7 + 3) % 36) as u16);
+                net.send(t, src, dst, MessageKind::llc_response64());
+                t += 3;
+            }
+            net.stats().messages
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k mixed accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::paper_l2_bank());
+            for i in 0..100_000u64 {
+                cache.access(i % 20_000, MemAccess::Read);
+            }
+            cache.stats().hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let map = AddrMap::new(AddrMapConfig::paper_default(36));
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("50k line fetches", |b| {
+        b.iter(|| {
+            let mut dram = Dram::new(DramConfig::ddr3_1333(), 4);
+            let mut t = 0;
+            for i in 0..50_000u64 {
+                t = dram.access(t, map.mc_of(PhysAddr(i * 64)), PhysAddr(i * 64), &map);
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_nest(c: &mut Criterion) {
+    let mut p = Program::new("bench");
+    let n = 50_000u64;
+    let a = p.add_array("A", 8, n);
+    let b_arr = p.add_array("B", 8, n);
+    let mut nest = LoopNest::rectangular("n", &[n as i64]).work(16);
+    nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+    nest.add_ref(b_arr, AffineExpr::var(0, 1), Access::Read);
+    p.add_nest(nest);
+    let platform = Platform::paper_default();
+    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let mapping = compiler.default_mapping(&p, locmap_loopir::NestId(0));
+    let data = DataEnv::new();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(2 * n));
+    g.sample_size(10);
+    g.bench_function("run_nest 100k accesses (shared LLC)", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            sim.run_nest(&p, &mapping, &data).cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_network, bench_cache, bench_dram, bench_full_nest);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8 (shared S-NUCA LLC): (a) MAI and CAI errors, (b) reduction in
+//! on-chip network latency and execution time, (c) runtime overheads.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_bench::selected_apps;
+use locmap_workloads::Scale;
+
+fn main() {
+    let apps = selected_apps(Scale::default());
+    let exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+    let mut rows = Vec::new();
+    let (mut lat, mut ex, mut merr, mut cerr, mut ovh) = (vec![], vec![], vec![], vec![], vec![]);
+    for w in &apps {
+        let out = evaluate(w, &exp, Scheme::LocationAware);
+        lat.push(out.net_reduction_pct());
+        ex.push(out.exec_improvement_pct());
+        merr.push(out.mai_error);
+        cerr.push(out.cai_error);
+        ovh.push(out.overhead_pct());
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.3}", out.mai_error),
+            format!("{:.3}", out.cai_error),
+            format!("{:.1}", out.net_reduction_pct()),
+            format!("{:.1}", out.exec_improvement_pct()),
+            format!("{:.1}", out.overhead_pct()),
+        ]);
+    }
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.3}", merr.iter().sum::<f64>() / merr.len() as f64),
+        format!("{:.3}", cerr.iter().sum::<f64>() / cerr.len() as f64),
+        format!("{:.1}", geomean(&lat)),
+        format!("{:.1}", geomean(&ex)),
+        format!("{:.1}", ovh.iter().sum::<f64>() / ovh.len() as f64),
+    ]);
+    print_table(
+        "Figure 8 (shared LLC): MAI/CAI error / network-latency reduction % / exec-time reduction % / overhead %",
+        &["benchmark", "mai-err", "cai-err", "net-red%", "exec-red%", "overhead%"],
+        &rows,
+    );
+    println!("\npaper reports: MAI err 0.11, CAI err 0.14; latency -43.8%; exec -12.7%");
+}

@@ -1,0 +1,79 @@
+//! Figure 9: sensitivity to hardware parameters — larger (8×8) network,
+//! doubled per-core LLC, larger pages, alternate MC placement — reported
+//! as geomeans over all 21 benchmarks for private and shared LLCs.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_core::{LlcOrg, Platform};
+use locmap_mem::{AddrMap, AddrMapConfig};
+use locmap_noc::{McPlacement, Mesh, RegionGrid};
+use locmap_sim::SimConfig;
+use locmap_bench::selected_apps;
+use locmap_workloads::Scale;
+
+fn variant(name: &str, llc: LlcOrg) -> Experiment {
+    let base = Experiment::paper_default(llc);
+    match name {
+        "default" => base,
+        "8x8" => {
+            let mesh = Mesh::new(8, 8);
+            let platform = Platform {
+                mesh,
+                regions: RegionGrid::paper_default(mesh),
+                mc_coords: McPlacement::Corners.coords(mesh),
+                addr_map: AddrMap::new(AddrMapConfig::paper_default(mesh.node_count() as u16)),
+                llc,
+            };
+            Experiment { platform, ..base }
+        }
+        "2x-llc" => {
+            let sim = SimConfig::default()
+                .with_l2_bank_bytes(SimConfig::default().l2_bank.size_bytes * 2);
+            base.with_sim(sim)
+        }
+        "8kb-page" => {
+            // The paper quadruples the 2 KB page; we quadruple ours.
+            let cfg = AddrMapConfig {
+                page_bytes: 8192,
+                ..AddrMapConfig::paper_default(36)
+            };
+            let mut platform = Platform::paper_default_with(llc);
+            platform.addr_map = AddrMap::new(cfg);
+            Experiment { platform, ..base }
+        }
+        "mc-midpoints" => {
+            let mut platform = Platform::paper_default_with(llc);
+            platform.mc_coords = McPlacement::EdgeMidpoints.coords(platform.mesh);
+            Experiment { platform, ..base }
+        }
+        other => panic!("unknown variant {other}"),
+    }
+}
+
+fn main() {
+    let apps = selected_apps(Scale::default());
+    let variants = ["default", "8x8", "2x-llc", "8kb-page", "mc-midpoints"];
+    let mut rows = Vec::new();
+    for llc in [LlcOrg::Private, LlcOrg::SharedSNuca] {
+        for v in variants {
+            let exp = variant(v, llc);
+            let (mut lat, mut ex) = (vec![], vec![]);
+            for w in &apps {
+                let out = evaluate(w, &exp, Scheme::LocationAware);
+                lat.push(out.net_reduction_pct());
+                ex.push(out.exec_improvement_pct());
+            }
+            rows.push(vec![
+                format!("{llc:?}"),
+                v.to_string(),
+                format!("{:.1}", geomean(&lat)),
+                format!("{:.1}", geomean(&ex)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 9: sensitivity (geomean network-latency / exec-time reduction %)",
+        &["llc", "variant", "net-red%", "exec-red%"],
+        &rows,
+    );
+    println!("\npaper trends: 8x8 > default; 2x LLC < default; 8KB page < default; MC placement ~= default");
+}

@@ -1,0 +1,34 @@
+//! Figure 13: comparison against data-layout reorganization (DO, Ding et
+//! al. PLDI'15) on the six benchmarks the paper could run with it, for
+//! private and shared LLCs: LA alone, DO alone, and LA+DO.
+
+use locmap_bench::{evaluate, print_table, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_workloads::{build, Scale};
+
+fn main() {
+    let names = ["jacobi-3d", "lulesh", "minighost", "swim", "mxm", "art"];
+    let mut rows = Vec::new();
+    for llc in [LlcOrg::Private, LlcOrg::SharedSNuca] {
+        let exp = Experiment::paper_default(llc);
+        for name in names {
+            let w = build(name, Scale::default());
+            let la = evaluate(&w, &exp, Scheme::LocationAware);
+            let lo = evaluate(&w, &exp, Scheme::LayoutOnly);
+            let both = evaluate(&w, &exp, Scheme::LayoutPlusLa);
+            rows.push(vec![
+                format!("{llc:?}"),
+                name.to_string(),
+                format!("{:.1}", la.exec_improvement_pct()),
+                format!("{:.1}", lo.exec_improvement_pct()),
+                format!("{:.1}", both.exec_improvement_pct()),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 13: LA vs DO vs LA+DO exec-time improvement (%)",
+        &["llc", "benchmark", "LA", "DO", "LA+DO"],
+        &rows,
+    );
+    println!("\npaper: LA beats DO on 4 of 6; DO wins swim and mxm; LA+DO best or tied nearly everywhere");
+}

@@ -1,0 +1,46 @@
+//! Figure 14: comparison against the hardware/OS-based computation
+//! placement of Das et al. (HPCA'13) — compiler-based (ours) vs
+//! hardware-based, private and shared LLCs.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_bench::selected_apps;
+use locmap_workloads::Scale;
+
+fn main() {
+    let apps = selected_apps(Scale::default());
+    let mut rows = Vec::new();
+    let (mut cp, mut cs, mut hp, mut hs) = (vec![], vec![], vec![], vec![]);
+    for w in &apps {
+        let exp_p = Experiment::paper_default(LlcOrg::Private);
+        let exp_s = Experiment::paper_default(LlcOrg::SharedSNuca);
+        let comp_p = evaluate(w, &exp_p, Scheme::LocationAware);
+        let comp_s = evaluate(w, &exp_s, Scheme::LocationAware);
+        let hw_p = evaluate(w, &exp_p, Scheme::Hardware);
+        let hw_s = evaluate(w, &exp_s, Scheme::Hardware);
+        cp.push(comp_p.exec_improvement_pct());
+        cs.push(comp_s.exec_improvement_pct());
+        hp.push(hw_p.exec_improvement_pct());
+        hs.push(hw_s.exec_improvement_pct());
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}", comp_p.exec_improvement_pct()),
+            format!("{:.1}", comp_s.exec_improvement_pct()),
+            format!("{:.1}", hw_p.exec_improvement_pct()),
+            format!("{:.1}", hw_s.exec_improvement_pct()),
+        ]);
+    }
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.1}", geomean(&cp)),
+        format!("{:.1}", geomean(&cs)),
+        format!("{:.1}", geomean(&hp)),
+        format!("{:.1}", geomean(&hs)),
+    ]);
+    print_table(
+        "Figure 14: compiler-based vs hardware-based placement, exec-time improvement (%)",
+        &["benchmark", "compiler-priv", "compiler-shared", "hw-priv", "hw-shared"],
+        &rows,
+    );
+    println!("\npaper: hardware scheme helps private LLCs somewhat, does poorly on shared LLCs; compiler wins both");
+}

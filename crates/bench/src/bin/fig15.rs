@@ -1,0 +1,46 @@
+//! Figure 15: optimality study — execution-time improvement assuming
+//! perfect MAI/CAI and cache-miss estimation (oracle knowledge), compared
+//! with the practical scheme.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_bench::selected_apps;
+use locmap_workloads::Scale;
+
+fn main() {
+    let apps = selected_apps(Scale::default());
+    let mut rows = Vec::new();
+    let (mut op, mut os, mut lp, mut ls) = (vec![], vec![], vec![], vec![]);
+    for w in &apps {
+        let exp_p = Experiment::paper_default(LlcOrg::Private);
+        let exp_s = Experiment::paper_default(LlcOrg::SharedSNuca);
+        let la_p = evaluate(w, &exp_p, Scheme::LocationAware);
+        let la_s = evaluate(w, &exp_s, Scheme::LocationAware);
+        let or_p = evaluate(w, &exp_p, Scheme::Oracle);
+        let or_s = evaluate(w, &exp_s, Scheme::Oracle);
+        lp.push(la_p.exec_improvement_pct());
+        ls.push(la_s.exec_improvement_pct());
+        op.push(or_p.exec_improvement_pct());
+        os.push(or_s.exec_improvement_pct());
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}", or_p.exec_improvement_pct()),
+            format!("{:.1}", or_s.exec_improvement_pct()),
+            format!("{:.1}", la_p.exec_improvement_pct()),
+            format!("{:.1}", la_s.exec_improvement_pct()),
+        ]);
+    }
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.1}", geomean(&op)),
+        format!("{:.1}", geomean(&os)),
+        format!("{:.1}", geomean(&lp)),
+        format!("{:.1}", geomean(&ls)),
+    ]);
+    print_table(
+        "Figure 15: perfect-estimation (oracle) vs practical exec-time improvement (%)",
+        &["benchmark", "oracle-priv", "oracle-shared", "LA-priv", "LA-shared"],
+        &rows,
+    );
+    println!("\npaper: oracle results are 'not much better' than the practical scheme");
+}

@@ -1,0 +1,57 @@
+//! Figure 16: KNL-style results — execution-cycle reduction of each
+//! (cluster mode × original/optimized) combination relative to the
+//! original all-to-all mode.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_sim::{knl_platform, KnlMode, SimConfig};
+use locmap_bench::selected_apps;
+use locmap_workloads::Scale;
+
+fn knl_experiment(mode: KnlMode) -> Experiment {
+    let platform = knl_platform(mode);
+    let sim = SimConfig::default();
+    Experiment { platform, sim, opts: Experiment::opts_for(sim) }
+}
+
+fn main() {
+    let apps = selected_apps(Scale::default());
+    let configs: Vec<(String, KnlMode, Scheme)> = vec![
+        ("Original quadrant".into(), KnlMode::Quadrant, Scheme::Default),
+        ("Original SNC-4".into(), KnlMode::Snc4, Scheme::Default),
+        ("Optimized all-to-all".into(), KnlMode::AllToAll, Scheme::LocationAware),
+        ("Optimized quadrant".into(), KnlMode::Quadrant, Scheme::LocationAware),
+        ("Optimized SNC-4".into(), KnlMode::Snc4, Scheme::LocationAware),
+    ];
+
+    // Reference: original all-to-all execution time per app.
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for w in &apps {
+        let reference = evaluate(w, &knl_experiment(KnlMode::AllToAll), Scheme::Default);
+        let ref_cycles = reference.base_cycles as f64;
+        let mut row = vec![w.name.to_string()];
+        for (ci, (_, mode, scheme)) in configs.iter().enumerate() {
+            let out = evaluate(w, &knl_experiment(*mode), *scheme);
+            let cycles = match scheme {
+                Scheme::Default => out.base_cycles as f64,
+                _ => out.opt_cycles as f64,
+            };
+            let impr = 100.0 * (ref_cycles - cycles) / ref_cycles;
+            series[ci].push(impr);
+            row.push(format!("{impr:.1}"));
+        }
+        rows.push(row);
+    }
+    let mut gm = vec!["GEOMEAN".to_string()];
+    for s in &series {
+        gm.push(format!("{:.1}", geomean(s)));
+    }
+    rows.push(gm);
+
+    print_table(
+        "Figure 16: KNL cluster modes, exec-time improvement vs original all-to-all (%)",
+        &["benchmark", "orig-quadrant", "orig-snc4", "opt-all2all", "opt-quadrant", "opt-snc4"],
+        &rows,
+    );
+    println!("\npaper: optimized all-to-all beats original quadrant and original SNC-4 (by 8.8%); best = optimized SNC-4 (+22.2% over SNC-4)");
+}

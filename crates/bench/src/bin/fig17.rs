@@ -1,0 +1,64 @@
+//! Figure 17: KNL results with ~2× and ~4× input sizes for the nine
+//! benchmarks whose inputs could be scaled. All values are improvements
+//! relative to the original all-to-all mode at the same input size.
+
+use locmap_bench::{evaluate, geomean, print_table, Experiment, Scheme};
+use locmap_sim::{knl_platform, KnlMode, SimConfig};
+use locmap_workloads::{build, Scale};
+
+fn knl_experiment(mode: KnlMode) -> Experiment {
+    let platform = knl_platform(mode);
+    let sim = SimConfig::default();
+    Experiment { platform, sim, opts: Experiment::opts_for(sim) }
+}
+
+fn main() {
+    let names = ["fmm", "cholesky", "fft", "lu", "radix", "mxm", "hpccg", "moldyn", "diff"];
+    let configs: Vec<(&str, KnlMode, Scheme)> = vec![
+        ("orig-quadrant", KnlMode::Quadrant, Scheme::Default),
+        ("orig-snc4", KnlMode::Snc4, Scheme::Default),
+        ("opt-all2all", KnlMode::AllToAll, Scheme::LocationAware),
+        ("opt-quadrant", KnlMode::Quadrant, Scheme::LocationAware),
+        ("opt-snc4", KnlMode::Snc4, Scheme::LocationAware),
+    ];
+
+    let mut rows = Vec::new();
+    // The ~4x inputs quadruple simulation cost; include them only when
+    // LOCMAP_FIG17_FULL is set.
+    let mut scales = vec![("~2x", Scale::x2())];
+    if std::env::var("LOCMAP_FIG17_FULL").is_ok() {
+        scales.push(("~4x", Scale::x4()));
+    }
+    for (scale_label, scale) in scales {
+        let mut series: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+        for name in names {
+            let w = build(name, scale);
+            let reference = evaluate(&w, &knl_experiment(KnlMode::AllToAll), Scheme::Default);
+            let ref_cycles = reference.base_cycles as f64;
+            let mut row = vec![format!("{scale_label} {name}")];
+            for (ci, (_, mode, scheme)) in configs.iter().enumerate() {
+                let out = evaluate(&w, &knl_experiment(*mode), *scheme);
+                let cycles = match scheme {
+                    Scheme::Default => out.base_cycles as f64,
+                    _ => out.opt_cycles as f64,
+                };
+                let impr = 100.0 * (ref_cycles - cycles) / ref_cycles;
+                series[ci].push(impr);
+                row.push(format!("{impr:.1}"));
+            }
+            rows.push(row);
+        }
+        let mut gm = vec![format!("{scale_label} GEOMEAN")];
+        for s in &series {
+            gm.push(format!("{:.1}", geomean(s)));
+        }
+        rows.push(gm);
+    }
+
+    print_table(
+        "Figure 17: KNL with scaled inputs, exec-time improvement vs original all-to-all (%)",
+        &["input benchmark", "orig-quadrant", "orig-snc4", "opt-all2all", "opt-quadrant", "opt-snc4"],
+        &rows,
+    );
+    println!("\npaper: improvements grow with input size");
+}

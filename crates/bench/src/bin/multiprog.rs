@@ -1,0 +1,59 @@
+//! §5 co-run study: multiple multi-threaded applications executing at the
+//! same time, each optimized independently. The paper reports ~18.1%
+//! (private) and ~26.7% (shared) improvement for co-runs, and ~22% over
+//! SNC-4 on KNL for 4-app mixes.
+
+use locmap_core::{Compiler, LlcOrg, MappingOptions, Platform};
+use locmap_sim::{run_multiprogram, MultiprogramResult, SimConfig, Simulator, Slot};
+use locmap_workloads::{build, Scale};
+
+fn corun(names: &[&str], llc: LlcOrg, optimized: bool) -> MultiprogramResult {
+    let platform = Platform::paper_default_with(llc);
+    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let apps: Vec<_> = names.iter().map(|n| build(n, Scale::new(0.5))).collect();
+    let mappings: Vec<_> = apps
+        .iter()
+        .map(|w| {
+            let nid = locmap_loopir::NestId(0);
+            if optimized {
+                // Co-run study uses whatever knowledge is available; for
+                // irregular apps that is the inspector's, which we grant
+                // via the workload's own index data.
+                compiler.map_nest(&w.program, nid, &w.data)
+            } else {
+                compiler.default_mapping(&w.program, nid)
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(platform, SimConfig::default());
+    let slots: Vec<Slot<'_>> = apps
+        .iter()
+        .zip(&mappings)
+        .map(|(w, m)| Slot { program: &w.program, mapping: m, data: &w.data })
+        .collect();
+    run_multiprogram(&mut sim, &slots)
+}
+
+fn main() {
+    println!("== Multiprogrammed co-run (paper §5 prose) ==");
+    let mixes: [&[&str]; 3] = [
+        &["mxm", "jacobi-3d"],
+        &["moldyn", "fft"],
+        &["mxm", "jacobi-3d", "moldyn", "fft"],
+    ];
+    for llc in [LlcOrg::Private, LlcOrg::SharedSNuca] {
+        for mix in &mixes {
+            let base = corun(mix, llc, false);
+            let opt = corun(mix, llc, true);
+            println!(
+                "{llc:?} {mix:?}: makespan {} -> {} ({:+.1}%), avg net latency {:.1} -> {:.1}",
+                base.total_cycles,
+                opt.total_cycles,
+                MultiprogramResult::improvement_pct(&base, &opt),
+                base.avg_net_latency,
+                opt.avg_net_latency,
+            );
+        }
+    }
+    println!("\npaper reports: ~18.1% (private), ~26.7% (shared) co-run improvement");
+}

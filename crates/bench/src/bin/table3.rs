@@ -1,0 +1,50 @@
+//! Table 3: benchmark properties — paper-reported loop-nest/array/group
+//! counts next to this reproduction's modeled nests, arrays, iteration
+//! sets, and the measured fraction of sets moved by load balancing.
+
+use locmap_bench::{evaluate, print_table, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_workloads::{build_all, Scale};
+
+fn main() {
+    let apps = build_all(Scale::default());
+    let exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+    let mut rows = Vec::new();
+    for w in &apps {
+        let out = evaluate(w, &exp, Scheme::LocationAware);
+        let modeled_sets: usize = {
+            let compiler =
+                locmap_core::Compiler::new(exp.platform.clone(), exp.opts);
+            w.program
+                .nest_ids()
+                .map(|n| compiler.default_mapping(&w.program, n).sets.len())
+                .sum()
+        };
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{}", w.table3.loop_nests),
+            format!("{}", w.table3.arrays),
+            format!("{}", w.table3.iteration_groups),
+            format!("{:.1}", w.table3.frac_moved_pct),
+            format!("{}", w.program.nests().len()),
+            format!("{}", w.program.arrays().len()),
+            format!("{modeled_sets}"),
+            format!("{:.1}", out.frac_moved * 100.0),
+        ]);
+    }
+    print_table(
+        "Table 3: benchmark properties (paper-reported | modeled/measured)",
+        &[
+            "benchmark",
+            "nests(paper)",
+            "arrays(paper)",
+            "groups(paper)",
+            "frac%(paper)",
+            "nests(model)",
+            "arrays(model)",
+            "sets(model)",
+            "frac%(measured)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,23 @@
+use locmap_bench::{evaluate, Experiment, Scheme};
+use locmap_core::LlcOrg;
+use locmap_workloads::{build, Scale};
+use std::time::Instant;
+
+fn main() {
+    let lt: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok())
+        .unwrap_or(locmap_noc::NocConfig::default().link_traversal);
+    for name in ["water", "jacobi-3d", "moldyn", "fft", "barnes", "hpccg", "swim"] {
+        let w = build(name, Scale::default());
+        let mut exp = Experiment::paper_default(LlcOrg::Private);
+        exp.sim.noc.link_traversal = lt;
+        let t0 = Instant::now();
+        let out = evaluate(&w, &exp, Scheme::LocationAware);
+        let mut exps = Experiment::paper_default(LlcOrg::SharedSNuca);
+        exps.sim.noc.link_traversal = lt;
+        let outs = evaluate(&w, &exps, Scheme::LocationAware);
+        println!("{name}: {:.1}s  PRIV net -{:.1}% exec -{:.1}% | SHARED net -{:.1}% exec -{:.1}% (baselat {:.1})",
+            t0.elapsed().as_secs_f64(),
+            out.net_reduction_pct(), out.exec_improvement_pct(),
+            outs.net_reduction_pct(), outs.exec_improvement_pct(), outs.base_latency);
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use locmap_bench::Scheme;
+use locmap_core::LlcOrg;
+use locmap_workloads::Scale;
+use std::collections::HashMap;
+
+/// Parsed command-line options shared by the subcommands.
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; rejects unknown shapes.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// `--app NAME` (required by run/map).
+    pub fn app(&self) -> Result<&str, String> {
+        self.get("app").ok_or_else(|| "--app <name> is required (see `locmap list`)".into())
+    }
+
+    /// `--apps a,b,c` (required by corun).
+    pub fn apps(&self) -> Result<Vec<&str>, String> {
+        let raw = self.get("apps").ok_or_else(|| "--apps a,b,c is required".to_string())?;
+        Ok(raw.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
+    }
+
+    /// `--llc private|shared` (default shared).
+    pub fn llc(&self) -> Result<LlcOrg, String> {
+        match self.get("llc").unwrap_or("shared") {
+            "private" => Ok(LlcOrg::Private),
+            "shared" => Ok(LlcOrg::SharedSNuca),
+            other => Err(format!("--llc must be private|shared, got {other:?}")),
+        }
+    }
+
+    /// `--scheme default|la|ideal|oracle|hardware|do|la+do` (default la).
+    pub fn scheme(&self) -> Result<Scheme, String> {
+        match self.get("scheme").unwrap_or("la") {
+            "default" => Ok(Scheme::Default),
+            "la" => Ok(Scheme::LocationAware),
+            "ideal" => Ok(Scheme::IdealNetwork),
+            "oracle" => Ok(Scheme::Oracle),
+            "hardware" => Ok(Scheme::Hardware),
+            "do" => Ok(Scheme::LayoutOnly),
+            "la+do" => Ok(Scheme::LayoutPlusLa),
+            other => Err(format!(
+                "--scheme must be default|la|ideal|oracle|hardware|do|la+do, got {other:?}"
+            )),
+        }
+    }
+
+    /// `--scale F` (default 1.0), the input-size factor.
+    pub fn scale(&self) -> Result<Scale, String> {
+        match self.get("scale") {
+            None => Ok(Scale::default()),
+            Some(v) => {
+                let f: f64 = v.parse().map_err(|_| format!("--scale must be a number, got {v:?}"))?;
+                if !(0.1..=16.0).contains(&f) {
+                    return Err(format!("--scale must be in [0.1, 16], got {f}"));
+                }
+                Ok(Scale::new(f))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse(&argv(&["--app", "mxm", "--llc", "private"])).unwrap();
+        assert_eq!(a.app().unwrap(), "mxm");
+        assert_eq!(a.llc().unwrap(), LlcOrg::Private);
+        assert_eq!(a.scheme().unwrap(), Scheme::LocationAware);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Args::parse(&argv(&["app"])).is_err());
+        assert!(Args::parse(&argv(&["--app"])).is_err());
+        let a = Args::parse(&argv(&["--llc", "weird"])).unwrap();
+        assert!(a.llc().is_err());
+        let a = Args::parse(&argv(&["--scheme", "nope"])).unwrap();
+        assert!(a.scheme().is_err());
+        let a = Args::parse(&argv(&["--scale", "99"])).unwrap();
+        assert!(a.scale().is_err());
+    }
+
+    #[test]
+    fn apps_list_splits() {
+        let a = Args::parse(&argv(&["--apps", "mxm, fft,moldyn"])).unwrap();
+        assert_eq!(a.apps().unwrap(), vec!["mxm", "fft", "moldyn"]);
+    }
+}

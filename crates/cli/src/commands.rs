@@ -1,0 +1,213 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use locmap_bench::{evaluate, Experiment};
+use locmap_core::{region_loads, Compiler, Mac, MacPolicy, MappingOptions, Platform};
+use locmap_sim::{run_multiprogram, SimConfig, Simulator, Slot};
+use locmap_workloads::{build, names};
+use std::process::ExitCode;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+locmap — location-aware computation-to-core mapping (PLDI'18 reproduction)
+
+USAGE:
+  locmap list                             benchmark inventory
+  locmap platform [--llc private|shared]  platform + affinity vectors
+  locmap run --app NAME [--llc L] [--scheme S] [--scale F]
+                                          evaluate scheme vs the default mapping
+  locmap map --app NAME [--llc L] [--scale F]
+                                          mapping summary (no simulation)
+  locmap corun --apps a,b[,c...] [--llc L] [--scale F]
+                                          multiprogrammed co-run
+  locmap heat --app NAME [--llc L] [--scale F]
+                                          router-pressure heatmaps
+
+SCHEMES: default | la | ideal | oracle | hardware | do | la+do
+";
+
+/// `locmap list`.
+pub fn list() -> ExitCode {
+    println!("{:<12} {:>6} {:>7} {:>9}  class", "benchmark", "nests", "arrays", "accesses");
+    for name in names() {
+        let w = build(name, locmap_workloads::Scale::default());
+        let accesses: u64 = w
+            .program
+            .nests()
+            .iter()
+            .map(|n| n.iteration_count(&w.program.params()) * n.refs.len() as u64)
+            .sum();
+        println!(
+            "{:<12} {:>6} {:>7} {:>9}  {}",
+            w.name,
+            w.program.nests().len(),
+            w.program.arrays().len(),
+            accesses,
+            if w.irregular { "irregular (inspector-executor)" } else { "regular (compile-time)" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `locmap platform`.
+pub fn platform(args: &Args) -> Result<(), String> {
+    let llc = args.llc()?;
+    let p = Platform::paper_default_with(llc);
+    println!("mesh      : {}", p.mesh);
+    println!("regions   : {} ({} cols x {} rows)", p.region_count(), p.regions.cols(), p.regions.rows());
+    println!("llc       : {llc:?}");
+    println!("mcs       : {:?}", p.mc_coords);
+    println!("page      : {} B, line: {} B", p.addr_map.config().page_bytes, p.addr_map.config().line_bytes);
+    let mac = Mac::compute(&p, MacPolicy::NearestSet);
+    println!("\nMAC vectors (region -> MC affinities):");
+    for r in p.regions.regions() {
+        println!("  {r}: {}", mac.of(r));
+    }
+    println!("\nsimulator defaults:\n{}", SimConfig::default());
+    Ok(())
+}
+
+/// `locmap run`.
+pub fn run(args: &Args) -> Result<(), String> {
+    let name = args.app()?;
+    if !names().contains(&name) {
+        return Err(format!("unknown benchmark {name:?}; see `locmap list`"));
+    }
+    let w = build(name, args.scale()?);
+    let exp = Experiment::paper_default(args.llc()?);
+    let scheme = args.scheme()?;
+    let out = evaluate(&w, &exp, scheme);
+    println!("benchmark        : {}", out.name);
+    println!("scheme           : {scheme:?} (vs default mapping)");
+    println!("execution cycles : {} -> {} ({:+.1}%)", out.base_cycles, out.opt_cycles, -out.exec_improvement_pct());
+    println!("net latency      : {:.1} -> {:.1} ({:+.1}%)", out.base_latency, out.opt_latency, -out.net_reduction_pct());
+    if out.overhead_cycles > 0 {
+        println!("inspector cost   : {} cycles ({:.1}% of run)", out.overhead_cycles, out.overhead_pct());
+    }
+    if out.mai_error > 0.0 {
+        println!("MAI error        : {:.3}", out.mai_error);
+    }
+    if out.cai_error > 0.0 {
+        println!("CAI error        : {:.3}", out.cai_error);
+    }
+    println!("sets rebalanced  : {:.1}%", out.frac_moved * 100.0);
+    Ok(())
+}
+
+/// `locmap map`.
+pub fn map(args: &Args) -> Result<(), String> {
+    let name = args.app()?;
+    if !names().contains(&name) {
+        return Err(format!("unknown benchmark {name:?}; see `locmap list`"));
+    }
+    let w = build(name, args.scale()?);
+    let platform = Platform::paper_default_with(args.llc()?);
+    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    for nid in w.program.nest_ids().collect::<Vec<_>>() {
+        let nest = w.program.nest(nid);
+        let m = compiler.map_nest(&w.program, nid, &w.data);
+        println!("nest {} ({}):", nid.0, nest.name);
+        if m.needs_inspector {
+            println!("  irregular — deferred to the runtime inspector");
+            continue;
+        }
+        println!("  iteration sets : {}", m.sets.len());
+        println!("  region loads   : {:?}", region_loads(&m.regions, platform.region_count()));
+        println!(
+            "  balance        : moved {} sets ({:.1}%)",
+            m.balance.moved,
+            m.balance.fraction_moved() * 100.0
+        );
+        if let Some(v) = m.mai.first() {
+            println!("  MAI(set 0)     : {v}");
+        }
+        if let Some(v) = m.cai.first() {
+            println!("  CAI(set 0)     : {v}");
+        }
+        if let Some(a) = m.alphas.first() {
+            println!("  alpha(set 0)   : {a:.2}");
+        }
+    }
+    Ok(())
+}
+
+/// `locmap heat`: run a benchmark under default and location-aware
+/// mappings and print router-pressure heatmaps side by side.
+pub fn heat(args: &Args) -> Result<(), String> {
+    let name = args.app()?;
+    if !names().contains(&name) {
+        return Err(format!("unknown benchmark {name:?}; see `locmap list`"));
+    }
+    let w = build(name, args.scale()?);
+    let platform = Platform::paper_default_with(args.llc()?);
+    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let nid = w.program.nest_ids().next().expect("workload has a nest");
+
+    for (label, optimized) in [("default mapping", false), ("location-aware mapping", true)] {
+        let mapping = if optimized {
+            compiler.map_nest(&w.program, nid, &w.data)
+        } else {
+            compiler.default_mapping(&w.program, nid)
+        };
+        let mut sim = locmap_sim::Simulator::new(platform.clone(), SimConfig::default());
+        sim.run_nest(&w.program, &mapping, &w.data);
+        let pressure = locmap_sim::router_pressure(&sim);
+        println!(
+            "{}",
+            locmap_sim::ascii_heatmap(platform.mesh, &pressure, &format!("{name}: {label}"))
+        );
+    }
+    Ok(())
+}
+
+/// `locmap corun`.
+pub fn corun(args: &Args) -> Result<(), String> {
+    let app_names = args.apps()?;
+    if app_names.len() < 2 {
+        return Err("corun needs at least two apps".into());
+    }
+    for n in &app_names {
+        if !names().contains(n) {
+            return Err(format!("unknown benchmark {n:?}; see `locmap list`"));
+        }
+    }
+    let scale = args.scale()?;
+    let platform = Platform::paper_default_with(args.llc()?);
+    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let apps: Vec<_> = app_names.iter().map(|n| build(n, scale)).collect();
+
+    let mut results = Vec::new();
+    for optimized in [false, true] {
+        let mappings: Vec<_> = apps
+            .iter()
+            .map(|w| {
+                let nid = locmap_loopir::NestId(0);
+                if optimized {
+                    compiler.map_nest(&w.program, nid, &w.data)
+                } else {
+                    compiler.default_mapping(&w.program, nid)
+                }
+            })
+            .collect();
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let slots: Vec<Slot<'_>> = apps
+            .iter()
+            .zip(&mappings)
+            .map(|(w, m)| Slot { program: &w.program, mapping: m, data: &w.data })
+            .collect();
+        results.push(run_multiprogram(&mut sim, &slots));
+    }
+
+    let (base, opt) = (&results[0], &results[1]);
+    println!("apps        : {app_names:?}");
+    println!("makespan    : {} -> {} cycles", base.total_cycles, opt.total_cycles);
+    println!(
+        "improvement : {:+.1}%",
+        locmap_sim::MultiprogramResult::improvement_pct(base, opt)
+    );
+    println!("net latency : {:.1} -> {:.1}", base.avg_net_latency, opt.avg_net_latency);
+    for (i, n) in app_names.iter().enumerate() {
+        println!("  {n}: {} -> {} cycles", base.app_cycles[i], opt.app_cycles[i]);
+    }
+    Ok(())
+}

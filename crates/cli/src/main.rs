@@ -1,0 +1,46 @@
+//! `locmap` — command-line driver for the location-aware mapping toolkit.
+//!
+//! ```text
+//! locmap list                          benchmark inventory
+//! locmap platform [--llc shared]      platform + affinity vectors
+//! locmap run --app mxm [options]      evaluate one scheme vs the default
+//! locmap map --app mxm [options]      mapping summary (no simulation)
+//! locmap corun --apps mxm,fft [...]   multiprogrammed co-run
+//! locmap heat --app mxm [...]         router-pressure heatmaps
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => commands::list(),
+        Some("platform") => run(commands::platform, &argv[1..]),
+        Some("run") => run(commands::run, &argv[1..]),
+        Some("map") => run(commands::map, &argv[1..]),
+        Some("corun") => run(commands::corun, &argv[1..]),
+        Some("heat") => run(commands::heat, &argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(f: fn(&args::Args) -> Result<(), String>, rest: &[String]) -> ExitCode {
+    match args::Args::parse(rest).and_then(|a| f(&a)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

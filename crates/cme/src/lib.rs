@@ -1,0 +1,448 @@
+//! Cache-miss-equations-style hit/miss estimation.
+//!
+//! The paper's compiler needs to know, *at compile time*, which of an
+//! iteration set's accesses will hit in the last-level cache (to build CAI
+//! and to weight α) and which will miss and travel to a memory controller
+//! (to build MAI). The original CME framework [Ghosh, Martonosi, Malik,
+//! TOPLAS'99] solves Diophantine equations per reference; the paper
+//! replaces exact solution counting with *statistical methods* — which is
+//! exactly what this crate implements: a seeded, sampled symbolic execution
+//! of the nest through a compiler-side cache model.
+//!
+//! The estimate is deliberately imperfect (the paper measured 76–93 %
+//! accuracy): the compiler-side model is single-threaded and ignores
+//! coherence, bank partitioning and interleaving with other nests. An
+//! optional noise knob degrades accuracy further for sensitivity studies,
+//! and the `perfect` constructor is used for the paper's optimality study
+//! (Figure 15).
+//!
+//! # Example
+//!
+//! ```
+//! use locmap_loopir::{Program, LoopNest, AffineExpr, Access, IterationSpace, DataEnv};
+//! use locmap_cme::{CmeConfig, CmeEstimator};
+//!
+//! let mut p = Program::new("ex");
+//! let a = p.add_array("A", 8, 4096);
+//! let mut nest = LoopNest::rectangular("n", &[4096]);
+//! nest.add_ref(a, AffineExpr::var(0, 1), Access::Read);
+//! let id = p.add_nest(nest);
+//!
+//! let space = IterationSpace::enumerate(p.nest(id), &p.params());
+//! let sets = space.split_by_fraction(0.01);
+//! let est = CmeEstimator::new(CmeConfig::default())
+//!     .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+//! // Unit-stride 8-byte elements on 64-byte lines: ~7/8 of accesses hit.
+//! assert!(est.hit_probability(10, 0) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use locmap_loopir::{DataEnv, IterationSet, IterationSpace, LoopNest, Program};
+use locmap_mem::{Access as MemAccess, Cache, CacheConfig};
+use locmap_loopir::Access;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the compile-time cache model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmeConfig {
+    /// Geometry of the modeled L1 (accesses that hit here never reach the
+    /// LLC and are excluded from affinity computations).
+    pub l1: CacheConfig,
+    /// Geometry of the modeled (aggregate) LLC.
+    pub llc: CacheConfig,
+    /// Fraction of iterations symbolically executed (statistical solution
+    /// counting). 1.0 = every iteration.
+    pub sample_rate: f64,
+    /// Additive uniform noise on per-set hit probabilities, modeling the
+    /// residual inaccuracy of static estimation. 0.0 = best effort.
+    pub noise: f64,
+    /// RNG seed for sampling and noise (estimates are deterministic).
+    pub seed: u64,
+}
+
+impl Default for CmeConfig {
+    fn default() -> Self {
+        CmeConfig {
+            l1: CacheConfig::paper_l1(),
+            // Compile-time proxy for the LLC a thread effectively owns:
+            // one 512 KB bank (private-LLC view). The shared-LLC compiler
+            // view scales this by the bank count via `with_llc_bytes`.
+            llc: CacheConfig::paper_l2_bank(),
+            sample_rate: 1.0,
+            noise: 0.06,
+            seed: 0x10c_a11,
+        }
+    }
+}
+
+impl CmeConfig {
+    /// A perfect-estimation configuration (Figure 15's oracle): full
+    /// sampling and zero noise.
+    pub fn perfect() -> Self {
+        CmeConfig { sample_rate: 1.0, noise: 0.0, ..CmeConfig::default() }
+    }
+
+    /// Replaces the modeled LLC capacity, keeping 16-way 64 B geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power-of-two multiple of one set's worth
+    /// of data (the underlying cache model requires power-of-two sets).
+    pub fn with_llc_bytes(mut self, bytes: u64) -> Self {
+        self.llc = CacheConfig { size_bytes: bytes, ways: 16, line_bytes: 64 };
+        self
+    }
+}
+
+/// Per-iteration-set, per-reference hit-probability estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmeEstimate {
+    /// `hit[set][ref]` = estimated probability that an access by this
+    /// reference in this set hits in the LLC (given it missed L1).
+    hit: Vec<Vec<f64>>,
+    /// `l1_hit[set][ref]` = estimated probability that the access is
+    /// satisfied by the private L1 and never enters the network.
+    l1_hit: Vec<Vec<f64>>,
+}
+
+impl CmeEstimate {
+    /// Estimated LLC hit probability for reference `r` in set `set`
+    /// (conditional on reaching the LLC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `r` are out of range.
+    pub fn hit_probability(&self, set: usize, r: usize) -> f64 {
+        self.hit[set][r]
+    }
+
+    /// Estimated probability the access never leaves the core's L1.
+    pub fn l1_hit_probability(&self, set: usize, r: usize) -> f64 {
+        self.l1_hit[set][r]
+    }
+
+    /// The paper's α for a set: the fraction of the set's *network-visible*
+    /// accesses that are LLC hits (α weights cache affinity against memory
+    /// affinity; §4 sets α = hits / (hits + misses)).
+    pub fn alpha(&self, set: usize) -> f64 {
+        let refs = &self.hit[set];
+        if refs.is_empty() {
+            return 0.5;
+        }
+        let l1 = &self.l1_hit[set];
+        let mut weight = 0.0;
+        let mut hits = 0.0;
+        for (h, l1h) in refs.iter().zip(l1) {
+            let reach_llc = 1.0 - l1h;
+            weight += reach_llc;
+            hits += reach_llc * h;
+        }
+        if weight == 0.0 {
+            0.5
+        } else {
+            hits / weight
+        }
+    }
+
+    /// Number of iteration sets covered.
+    pub fn set_count(&self) -> usize {
+        self.hit.len()
+    }
+
+    /// Mean LLC hit probability over all sets and references.
+    pub fn mean_hit_probability(&self) -> f64 {
+        let mut n = 0usize;
+        let mut s = 0.0;
+        for set in &self.hit {
+            for &h in set {
+                s += h;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            s / n as f64
+        }
+    }
+}
+
+/// The estimator: a seeded, sampled symbolic execution of a nest through
+/// L1 + LLC cache models.
+#[derive(Debug, Clone)]
+pub struct CmeEstimator {
+    cfg: CmeConfig,
+}
+
+impl CmeEstimator {
+    /// Creates an estimator with configuration `cfg`.
+    pub fn new(cfg: CmeConfig) -> Self {
+        assert!(cfg.sample_rate > 0.0 && cfg.sample_rate <= 1.0, "sample_rate must be in (0,1]");
+        assert!((0.0..=1.0).contains(&cfg.noise), "noise must be in [0,1]");
+        CmeEstimator { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CmeConfig {
+        self.cfg
+    }
+
+    /// Estimates hit probabilities for every `(set, ref)` of `nest`.
+    ///
+    /// Irregular references require `data` to contain the index arrays;
+    /// at compile time the paper cannot run this for irregular codes (the
+    /// inspector does it at runtime instead), but the estimator itself is
+    /// agnostic — it just replays whatever addresses resolve.
+    pub fn estimate(
+        &self,
+        program: &Program,
+        nest: &LoopNest,
+        space: &IterationSpace,
+        sets: &[IterationSet],
+        data: &DataEnv,
+    ) -> CmeEstimate {
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut l1 = Cache::new(self.cfg.l1);
+        let mut llc = Cache::new(self.cfg.llc);
+        let nrefs = nest.refs.len();
+
+        let mut hit = vec![vec![0.0f64; nrefs]; sets.len()];
+        let mut l1hit = vec![vec![0.0f64; nrefs]; sets.len()];
+        let mut llc_seen = vec![vec![0u32; nrefs]; sets.len()];
+        let mut sampled = vec![vec![0u32; nrefs]; sets.len()];
+
+        for set in sets {
+            for k in set.indices() {
+                if self.cfg.sample_rate < 1.0 && rng.gen::<f64>() >= self.cfg.sample_rate {
+                    continue;
+                }
+                let iv = space.get(k);
+                for (ri, r) in nest.refs.iter().enumerate() {
+                    let addr = program.resolve(r, iv, data);
+                    let acc = match r.access {
+                        Access::Read => MemAccess::Read,
+                        Access::Write => MemAccess::Write,
+                    };
+                    sampled[set.id][ri] += 1;
+                    let l1_line = l1.line_of(addr);
+                    if l1.access(l1_line, acc).is_hit() {
+                        l1hit[set.id][ri] += 1.0;
+                        continue;
+                    }
+                    let llc_line = llc.line_of(addr);
+                    llc_seen[set.id][ri] += 1;
+                    if llc.access(llc_line, acc).is_hit() {
+                        hit[set.id][ri] += 1.0;
+                    }
+                }
+            }
+        }
+
+        // Normalize counts to probabilities and apply the noise knob.
+        for (si, set_hits) in hit.iter_mut().enumerate() {
+            for ri in 0..nrefs {
+                let n_llc = llc_seen[si][ri];
+                set_hits[ri] = if n_llc == 0 { 0.0 } else { set_hits[ri] / n_llc as f64 };
+                let n_all = sampled[si][ri];
+                l1hit[si][ri] = if n_all == 0 { 0.0 } else { l1hit[si][ri] / n_all as f64 };
+                if self.cfg.noise > 0.0 {
+                    let eps = rng.gen_range(-self.cfg.noise..=self.cfg.noise);
+                    set_hits[ri] = (set_hits[ri] + eps).clamp(0.0, 1.0);
+                }
+            }
+        }
+
+        CmeEstimate { hit, l1_hit: l1hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_loopir::AffineExpr;
+
+    fn streaming_program(elems: u64) -> (Program, IterationSpace, Vec<IterationSet>) {
+        let mut p = Program::new("stream");
+        let a = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split_by_fraction(0.01);
+        (p, space, sets)
+    }
+
+    #[test]
+    fn streaming_read_mostly_hits_l1_spatially() {
+        let (p, space, sets) = streaming_program(8192);
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        // 8-byte elements, 32-byte L1 lines: 3 of 4 accesses hit L1.
+        let mean_l1: f64 = (0..est.set_count()).map(|s| est.l1_hit_probability(s, 0)).sum::<f64>()
+            / est.set_count() as f64;
+        assert!((mean_l1 - 0.75).abs() < 0.05, "mean L1 hit {mean_l1}");
+    }
+
+    #[test]
+    fn cold_streaming_half_hits_llc_from_line_size_difference() {
+        // Array (8 MB) far larger than LLC: each 64 B LLC line is fetched
+        // once from memory but probed twice (two 32 B L1 lines), so the
+        // LLC hit probability settles at ~0.5 — not lower, not higher.
+        let (p, space, sets) = streaming_program(1 << 20);
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        let m = est.mean_hit_probability();
+        assert!((m - 0.5).abs() < 0.05, "mean LLC hit {m}");
+    }
+
+    #[test]
+    fn resident_second_pass_hits_llc() {
+        // Two passes over a small array (fits in LLC, exceeds L1): the
+        // second pass hits LLC.
+        let mut p = Program::new("two-pass");
+        let elems = 8192u64; // 64 KB: > 16 KB L1, < 512 KB LLC
+        let a = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[2, elems as i64]);
+        nest.add_ref(a, AffineExpr::var(1, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split(elems as usize); // set 0 = pass 1, set 1 = pass 2
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+        // First pass: only the line-size-difference hits (~0.5); second
+        // pass: the whole array is resident (~1.0).
+        let first = est.hit_probability(0, 0);
+        let second = est.hit_probability(1, 0);
+        assert!(first < 0.6, "first pass hit {first}");
+        assert!(second > 0.9, "second pass hit {second}");
+    }
+
+    #[test]
+    fn alpha_reflects_hit_fraction() {
+        let mut p = Program::new("mix");
+        let elems = 8192u64;
+        let a = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[2, elems as i64]);
+        nest.add_ref(a, AffineExpr::var(1, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split(elems as usize);
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+        assert!(est.alpha(0) < 0.65);
+        assert!(est.alpha(1) > 0.9);
+        assert!(est.alpha(1) > est.alpha(0) + 0.3);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let (p, space, sets) = streaming_program(4096);
+        let cfg = CmeConfig { noise: 0.1, sample_rate: 0.5, ..CmeConfig::default() };
+        let e1 = CmeEstimator::new(cfg).estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        let e2 = CmeEstimator::new(cfg).estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        for s in 0..e1.set_count() {
+            assert_eq!(e1.hit_probability(s, 0), e2.hit_probability(s, 0));
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_in_range() {
+        let (p, space, sets) = streaming_program(4096);
+        let noisy = CmeEstimator::new(CmeConfig { noise: 0.3, ..CmeConfig::default() })
+            .estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        for s in 0..noisy.set_count() {
+            let h = noisy.hit_probability(s, 0);
+            assert!((0.0..=1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn perfect_config_has_no_noise() {
+        let c = CmeConfig::perfect();
+        assert_eq!(c.noise, 0.0);
+        assert_eq!(c.sample_rate, 1.0);
+    }
+
+    #[test]
+    fn sampling_still_covers_all_sets() {
+        let (p, space, sets) = streaming_program(8192);
+        let est = CmeEstimator::new(CmeConfig { sample_rate: 0.3, noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        assert_eq!(est.set_count(), sets.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sample_rate_rejected() {
+        CmeEstimator::new(CmeConfig { sample_rate: 0.0, ..CmeConfig::default() });
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use locmap_loopir::AffineExpr;
+
+    #[test]
+    fn write_streams_behave_like_reads_for_hit_estimation() {
+        let mut p = Program::new("w");
+        let a = p.add_array("A", 8, 4096);
+        let mut nest = LoopNest::rectangular("n", &[4096]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        let id = p.add_nest(nest);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split_by_fraction(0.01);
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+        // Write-allocate: same spatial pattern as reads.
+        let l1: f64 = (0..est.set_count()).map(|s| est.l1_hit_probability(s, 0)).sum::<f64>()
+            / est.set_count() as f64;
+        assert!((l1 - 0.75).abs() < 0.1, "write L1 hit {l1}");
+    }
+
+    #[test]
+    fn bigger_modeled_llc_raises_hit_estimates() {
+        let mut p = Program::new("two-pass");
+        let elems = 16_384u64; // 128 KB
+        let a = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[2, elems as i64]);
+        nest.add_ref(a, AffineExpr::var(1, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split(elems as usize);
+        let small = CmeEstimator::new(
+            CmeConfig { noise: 0.0, ..CmeConfig::default() }.with_llc_bytes(32 * 1024),
+        )
+        .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+        let big = CmeEstimator::new(
+            CmeConfig { noise: 0.0, ..CmeConfig::default() }.with_llc_bytes(1 << 20),
+        )
+        .estimate(&p, p.nest(id), &space, &sets, &DataEnv::new());
+        // Second pass hits only if the array fits the modeled LLC.
+        assert!(big.hit_probability(1, 0) > small.hit_probability(1, 0) + 0.3);
+    }
+
+    #[test]
+    fn irregular_estimation_with_data_env() {
+        let mut p = Program::new("irr");
+        let a = p.add_array("A", 8, 2048);
+        let idx = p.add_array("idx", 8, 4096);
+        let mut nest = LoopNest::rectangular("n", &[4096]);
+        nest.add_indirect_ref(a, idx, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let mut data = DataEnv::new();
+        // All gathers hit the same element: perfect temporal locality.
+        data.set_index_array(idx, vec![7; 4096]);
+        let space = IterationSpace::enumerate(p.nest(id), &p.params());
+        let sets = space.split_by_fraction(0.01);
+        let est = CmeEstimator::new(CmeConfig { noise: 0.0, ..CmeConfig::default() })
+            .estimate(&p, p.nest(id), &space, &sets, &data);
+        let mean_l1: f64 = (0..est.set_count()).map(|s| est.l1_hit_probability(s, 0)).sum::<f64>()
+            / est.set_count() as f64;
+        assert!(mean_l1 > 0.99, "hot single element must live in L1 ({mean_l1})");
+    }
+}

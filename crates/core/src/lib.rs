@@ -1,0 +1,67 @@
+//! Location-aware computation-to-core mapping — the primary contribution of
+//! *"Enhancing Computation-to-Core Assignment with Physical Location
+//! Information"* (PLDI 2018).
+//!
+//! Given a parallel loop nest, a mesh platform description, and hit/miss
+//! estimates (from [`locmap_cme`] at compile time or from the runtime
+//! inspector), this crate:
+//!
+//! 1. computes the four affinity vectors — **MAI** (memory affinity of
+//!    iterations), **MAC** (memory affinity of cores), **CAI** (cache
+//!    affinity of iterations), **CAC** (cache affinity of cores);
+//! 2. assigns every iteration set to the region minimizing the affinity
+//!    error `η = α·ηc + (1−α)·ηm` (Algorithms 1 and 2 of the paper);
+//! 3. rebalances load across regions in a location-aware way (donors ship
+//!    surplus iteration sets to the *nearest* receivers);
+//! 4. places each set on a concrete core inside its region.
+//!
+//! # Example
+//!
+//! ```
+//! use locmap_core::{Platform, MappingOptions, Compiler};
+//! use locmap_loopir::{Program, LoopNest, AffineExpr, Access, DataEnv};
+//!
+//! // for i in 0..4096 { A[i] = B[i] + C[i] + D[i] }  (Figure 5)
+//! let mut p = Program::new("fig5");
+//! let n = 4096;
+//! let a = p.add_array("A", 8, n);
+//! let b = p.add_array("B", 8, n);
+//! let c = p.add_array("C", 8, n);
+//! let d = p.add_array("D", 8, n);
+//! let mut nest = LoopNest::rectangular("main", &[n as i64]);
+//! nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+//! nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+//! nest.add_ref(c, AffineExpr::var(0, 1), Access::Read);
+//! nest.add_ref(d, AffineExpr::var(0, 1), Access::Read);
+//! let id = p.add_nest(nest);
+//!
+//! let platform = Platform::paper_default();
+//! let compiler = Compiler::new(platform, MappingOptions::default());
+//! let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+//! assert_eq!(mapping.assignment.len(), mapping.sets.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod affinity;
+mod assign;
+mod balance;
+mod compiler;
+mod emit;
+mod hits;
+mod inspector;
+mod placement;
+mod platform;
+mod vectors;
+
+pub use affinity::{compute_cai, compute_cai_reaching, compute_mai, mean_eta, AffinityInputs};
+pub use assign::{assign_private, assign_shared, AlphaPolicy};
+pub use balance::{balance_regions, region_loads, BalanceReport};
+pub use compiler::{Compiler, MappingOptions, NestMapping, SharedObjective};
+pub use emit::{emit_openmp, emit_schedule_json};
+pub use hits::{AllMissModel, CmeModel, HitModel, MeasuredRates, OracleModel};
+pub use inspector::{Inspector, InspectorCostModel, InspectorReport};
+pub use placement::{place_in_regions, PlacementPolicy};
+pub use platform::{LlcOrg, Platform};
+pub use vectors::{AffinityVec, EtaMetric, Mac, MacPolicy, Cac, CacPolicy};

@@ -1,0 +1,47 @@
+//! 2D-mesh network-on-chip (NoC) model for location-aware computation mapping.
+//!
+//! This crate provides the physical-location substrate of the `locmap`
+//! system: mesh topology and coordinates, Manhattan distances, logical
+//! region partitioning (the paper's R1..R9), memory-controller placement,
+//! deterministic X-Y routing, and a cycle-based link-contention model that
+//! approximates wormhole switching.
+//!
+//! The model intentionally exposes *relative positions* of cores, LLC banks
+//! and memory controllers — exactly the information the PLDI'18 paper argues
+//! a compiler should consume.
+//!
+//! # Example
+//!
+//! ```
+//! use locmap_noc::{Mesh, RegionGrid, McPlacement, Network, NocConfig, MessageKind};
+//!
+//! let mesh = Mesh::new(6, 6);
+//! let regions = RegionGrid::new(mesh, 3, 3); // 9 regions of 2x2 cores
+//! let mcs = McPlacement::Corners.coords(mesh);
+//! assert_eq!(mcs.len(), 4);
+//!
+//! let mut net = Network::new(NocConfig::default(), mesh);
+//! let src = mesh.node_at(0, 0);
+//! let dst = mesh.node_at(5, 5);
+//! let arrival = net.send(0, src, dst, MessageKind::MemRequest);
+//! assert!(arrival > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mc;
+mod network;
+mod packet;
+mod regions;
+mod routing;
+mod stats;
+mod topology;
+
+pub use mc::{McId, McPlacement};
+pub use network::{Network, NocConfig, TopologyKind};
+pub use packet::{MessageKind, FLIT_BYTES};
+pub use regions::{RegionGrid, RegionId};
+pub use routing::{link_target, link_target_torus, route_xy, route_xy_torus, Direction, Link};
+pub use stats::NetworkStats;
+pub use topology::{Coord, Mesh, NodeId};

@@ -1,0 +1,239 @@
+//! Deterministic X-Y dimension-ordered routing.
+//!
+//! X-Y routing first corrects the horizontal (X) offset, then the vertical
+//! (Y) offset. It is deadlock-free on a mesh and is the norm in commercial
+//! parts (Tilera, Xeon Phi), as the paper notes.
+
+use crate::topology::{Coord, Mesh, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One of the four mesh link directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards larger x.
+    East,
+    /// Towards smaller x.
+    West,
+    /// Towards smaller y.
+    North,
+    /// Towards larger y.
+    South,
+}
+
+/// A directed link leaving node `from` in direction `dir`.
+///
+/// Links are the unit of contention in the network model: each direction of
+/// each physical channel arbitrates independently (full-duplex links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node of the directed link.
+    pub from: NodeId,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+impl Link {
+    /// Dense index of this link, for per-link state arrays:
+    /// `node_index * 4 + direction`.
+    pub fn index(self) -> usize {
+        let d = match self.dir {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        };
+        self.from.index() * 4 + d
+    }
+
+    /// Total number of directed-link slots on `mesh` (including boundary
+    /// slots that no route ever uses; keeping the array dense is simpler
+    /// and cheap).
+    pub fn slot_count(mesh: Mesh) -> usize {
+        mesh.node_count() * 4
+    }
+}
+
+/// The ordered list of directed links a message takes from `src` to `dst`
+/// under X-Y routing on a **torus**: each dimension is corrected in the
+/// shorter wrap direction, using the edge-wrap links. Ties (exactly half
+/// way) go the positive direction for determinism.
+pub fn route_xy_torus(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Link> {
+    let w = mesh.width() as i32;
+    let h = mesh.height() as i32;
+    let s = mesh.coord_of(src);
+    let d = mesh.coord_of(dst);
+    let mut links = Vec::new();
+    let mut cur = s;
+
+    // Horizontal: pick the shorter wrap direction.
+    let dx = d.x as i32 - cur.x as i32;
+    let steps_east = dx.rem_euclid(w);
+    let east = steps_east <= w - steps_east;
+    let hsteps = if east { steps_east } else { w - steps_east };
+    for _ in 0..hsteps {
+        let dir = if east { Direction::East } else { Direction::West };
+        links.push(Link { from: mesh.node_at(cur.x, cur.y), dir });
+        cur.x = if east { (cur.x + 1) % mesh.width() } else { (cur.x + mesh.width() - 1) % mesh.width() };
+    }
+    // Vertical.
+    let dy = d.y as i32 - cur.y as i32;
+    let steps_south = dy.rem_euclid(h);
+    let south = steps_south <= h - steps_south;
+    let vsteps = if south { steps_south } else { h - steps_south };
+    for _ in 0..vsteps {
+        let dir = if south { Direction::South } else { Direction::North };
+        links.push(Link { from: mesh.node_at(cur.x, cur.y), dir });
+        cur.y = if south { (cur.y + 1) % mesh.height() } else { (cur.y + mesh.height() - 1) % mesh.height() };
+    }
+    links
+}
+
+/// The ordered list of directed links a message takes from `src` to `dst`
+/// under X-Y routing. Empty when `src == dst`.
+pub fn route_xy(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Link> {
+    let s = mesh.coord_of(src);
+    let d = mesh.coord_of(dst);
+    let mut links = Vec::with_capacity(s.manhattan(d) as usize);
+    let mut cur = s;
+    while cur.x != d.x {
+        let dir = if d.x > cur.x { Direction::East } else { Direction::West };
+        links.push(Link { from: mesh.node_at(cur.x, cur.y), dir });
+        cur.x = if d.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+    }
+    while cur.y != d.y {
+        let dir = if d.y > cur.y { Direction::South } else { Direction::North };
+        links.push(Link { from: mesh.node_at(cur.x, cur.y), dir });
+        cur.y = if d.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+    }
+    links
+}
+
+/// The coordinate reached after traversing `link` (mesh semantics: no
+/// wrap; see [`link_target_torus`] for wraparound links).
+pub fn link_target(mesh: Mesh, link: Link) -> Coord {
+    let c = mesh.coord_of(link.from);
+    match link.dir {
+        Direction::East => Coord::new(c.x + 1, c.y),
+        Direction::West => Coord::new(c.x - 1, c.y),
+        Direction::North => Coord::new(c.x, c.y - 1),
+        Direction::South => Coord::new(c.x, c.y + 1),
+    }
+}
+
+/// The coordinate reached after traversing `link` with torus wraparound.
+pub fn link_target_torus(mesh: Mesh, link: Link) -> Coord {
+    let c = mesh.coord_of(link.from);
+    let (w, h) = (mesh.width(), mesh.height());
+    match link.dir {
+        Direction::East => Coord::new((c.x + 1) % w, c.y),
+        Direction::West => Coord::new((c.x + w - 1) % w, c.y),
+        Direction::North => Coord::new(c.x, (c.y + h - 1) % h),
+        Direction::South => Coord::new(c.x, (c.y + 1) % h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_equals_manhattan_distance() {
+        let m = Mesh::new(6, 6);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                assert_eq!(route_xy(m, a, b).len() as u32, m.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = Mesh::new(6, 6);
+        let route = route_xy(m, m.node_at(0, 0), m.node_at(3, 2));
+        let dirs: Vec<_> = route.iter().map(|l| l.dir).collect();
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South
+            ]
+        );
+    }
+
+    #[test]
+    fn route_is_contiguous_and_reaches_destination() {
+        let m = Mesh::new(5, 7);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let route = route_xy(m, a, b);
+                let mut cur = m.coord_of(a);
+                for link in &route {
+                    assert_eq!(m.coord_of(link.from), cur, "route not contiguous");
+                    cur = link_target(m, *link);
+                }
+                assert_eq!(cur, m.coord_of(b), "route did not reach dst");
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = Mesh::new(4, 4);
+        assert!(route_xy(m, m.node_at(2, 2), m.node_at(2, 2)).is_empty());
+    }
+
+    #[test]
+    fn torus_route_length_equals_torus_distance() {
+        let m = Mesh::new(6, 6);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                assert_eq!(
+                    route_xy_torus(m, a, b).len() as u32,
+                    m.torus_distance(a, b),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_route_is_contiguous_and_reaches_destination() {
+        let m = Mesh::new(5, 7);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let route = route_xy_torus(m, a, b);
+                let mut cur = m.coord_of(a);
+                for link in &route {
+                    assert_eq!(m.coord_of(link.from), cur, "route not contiguous");
+                    cur = link_target_torus(m, *link);
+                }
+                assert_eq!(cur, m.coord_of(b), "route did not reach dst");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_uses_wrap_for_far_pairs() {
+        let m = Mesh::new(6, 6);
+        // (0,0) -> (5,0): one West wrap hop instead of five East hops.
+        let route = route_xy_torus(m, m.node_at(0, 0), m.node_at(5, 0));
+        assert_eq!(route.len(), 1);
+        assert_eq!(route[0].dir, Direction::West);
+    }
+
+    #[test]
+    fn link_indices_are_unique_and_in_range() {
+        let m = Mesh::new(6, 6);
+        let mut seen = std::collections::HashSet::new();
+        for n in m.nodes() {
+            for dir in [Direction::East, Direction::West, Direction::North, Direction::South] {
+                let l = Link { from: n, dir };
+                assert!(l.index() < Link::slot_count(m));
+                assert!(seen.insert(l.index()));
+            }
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! The simulation engine: cores executing mapped iteration sets against
+//! the shared NoC / LLC / DRAM state.
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use locmap_core::{AffinityVec, LlcOrg, MeasuredRates, NestMapping, Platform};
+use locmap_loopir::{Access, DataEnv, Program};
+use locmap_mem::{Access as MemAccess, Cache, Directory, Dram, PhysAddr};
+use locmap_noc::{MessageKind, Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The simulated manycore: mutable machine state plus configuration.
+///
+/// A `Simulator` keeps cache/DRAM/network state across `run_nest` calls so
+/// multi-nest programs see warm caches; use [`Simulator::reset`] between
+/// independent experiments.
+#[derive(Debug)]
+pub struct Simulator {
+    platform: Platform,
+    cfg: SimConfig,
+    net: Network,
+    l1s: Vec<Cache>,
+    l2s: Vec<Cache>,
+    dram: Dram,
+    dir: Directory,
+    invalidations: u64,
+}
+
+/// Per-(set, ref) counters for measured hit rates.
+#[derive(Debug, Clone, Default)]
+struct RefCounters {
+    total: u64,
+    l1_hits: u64,
+    llc_seen: u64,
+    llc_hits: u64,
+}
+
+/// The outcome level of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Level {
+    L1,
+    Llc,
+    Mem,
+}
+
+impl Simulator {
+    /// Builds the machine described by `platform` with timing `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform's address map expects a different number of
+    /// LLC banks than the mesh has nodes.
+    pub fn new(platform: Platform, cfg: SimConfig) -> Self {
+        let nodes = platform.mesh.node_count();
+        assert_eq!(
+            platform.addr_map.config().llc_banks as usize,
+            nodes,
+            "address map bank count must match mesh node count"
+        );
+        Simulator {
+            net: Network::new(cfg.noc, platform.mesh),
+            l1s: (0..nodes).map(|_| Cache::new(cfg.l1)).collect(),
+            l2s: (0..nodes).map(|_| Cache::new(cfg.l2_bank)).collect(),
+            dram: Dram::new(cfg.dram, platform.mc_count()),
+            dir: Directory::new(nodes),
+            invalidations: 0,
+            platform,
+            cfg,
+        }
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Flushes all caches, releases all links and banks, clears statistics.
+    pub fn reset(&mut self) {
+        let nodes = self.platform.mesh.node_count();
+        self.net = Network::new(self.cfg.noc, self.platform.mesh);
+        self.l1s = (0..nodes).map(|_| Cache::new(self.cfg.l1)).collect();
+        self.l2s = (0..nodes).map(|_| Cache::new(self.cfg.l2_bank)).collect();
+        self.dram = Dram::new(self.cfg.dram, self.platform.mc_count());
+        self.dir = Directory::new(nodes);
+        self.invalidations = 0;
+    }
+
+    /// Executes one mapped nest to completion and returns its metrics.
+    pub fn run_nest(&mut self, program: &Program, mapping: &NestMapping, data: &DataEnv) -> RunResult {
+        self.run_nest_offset(program, mapping, data, 0)
+    }
+
+    /// Like [`run_nest`](Self::run_nest) but with every physical address
+    /// offset by `addr_offset` bytes — used by the multiprogramming harness
+    /// to give co-running applications disjoint address spaces.
+    pub fn run_nest_offset(
+        &mut self,
+        program: &Program,
+        mapping: &NestMapping,
+        data: &DataEnv,
+        addr_offset: u64,
+    ) -> RunResult {
+        // The run's clock starts at zero: release link and bank occupancy
+        // left over from earlier runs (cache contents stay warm).
+        self.net.reset_contention();
+        self.dram.release_timing();
+
+        let nest = program.nest(mapping.nest);
+        let space = locmap_loopir::IterationSpace::enumerate(nest, &program.params());
+        let nsets = mapping.sets.len();
+        let nrefs = nest.refs.len();
+        let nodes = self.platform.mesh.node_count();
+
+        // Per-core ordered work list: (set index) in ascending set id.
+        let mut work: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for (s, &core) in mapping.assignment.iter().enumerate() {
+            work[core.index()].push(s);
+        }
+
+        // Per-core progress: (position in work list, offset inside set).
+        let mut pos = vec![(0usize, 0usize); nodes];
+        let mut clock = vec![0.0f64; nodes];
+
+        // Measurement state.
+        let mut counters = vec![vec![RefCounters::default(); nrefs]; nsets];
+        let mc_count = self.platform.mc_count();
+        let nregions = self.platform.region_count();
+        let mut mai_tally = vec![vec![0u64; mc_count]; nsets];
+        let mut cai_tally = vec![vec![0u64; nregions]; nsets];
+        let mut access_tally = vec![0u64; nsets];
+
+        let net_msgs_before = self.net.stats().messages;
+        let inval_before = self.invalidations;
+        let (l1h0, l1m0) = self.l1_totals();
+        let (l2h0, l2m0, l2w0) = self.l2_totals();
+        let dram0 = *self.dram.stats();
+        let net0 = *self.net.stats();
+        let _ = net_msgs_before;
+
+        // Advance the earliest core one iteration at a time.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for c in 0..nodes {
+            if !work[c].is_empty() {
+                heap.push(Reverse((0, c)));
+            }
+        }
+
+        let work_cycles = nest.work_per_iter as f64 * self.cfg.cpi_base;
+        while let Some(Reverse((_, c))) = heap.pop() {
+            let (wi, off) = pos[c];
+            let set_idx = work[c][wi];
+            let set = mapping.sets[set_idx];
+            let k = set.start + off;
+
+            // Compute work of the iteration, then issue all of its memory
+            // references together: in-order cores still overlap misses of
+            // one iteration through their MSHRs (memory-level parallelism),
+            // so the iteration completes at the slowest reference, not the
+            // sum.
+            let t0 = clock[c] + work_cycles;
+            let mut t = t0;
+
+            let iv = space.get(k);
+            for (ri, r) in nest.refs.iter().enumerate() {
+                let addr = program.resolve(r, iv, data) + addr_offset;
+                let acc = match r.access {
+                    Access::Read => MemAccess::Read,
+                    Access::Write => MemAccess::Write,
+                };
+                let (done, level, mc, bank) = self.access(t0 as u64, c, addr, acc);
+                t = t.max(done as f64);
+
+                // Measurement.
+                let ctr = &mut counters[set_idx][ri];
+                ctr.total += 1;
+                access_tally[set_idx] += 1;
+                match level {
+                    Level::L1 => ctr.l1_hits += 1,
+                    Level::Llc => {
+                        ctr.llc_seen += 1;
+                        ctr.llc_hits += 1;
+                        let region = self.platform.regions.region_of(self.platform.bank_node(bank));
+                        cai_tally[set_idx][region.index()] += 1;
+                    }
+                    Level::Mem => {
+                        ctr.llc_seen += 1;
+                        mai_tally[set_idx][mc] += 1;
+                    }
+                }
+            }
+            clock[c] = t;
+
+            // Advance this core's cursor.
+            let (mut wi, mut off) = pos[c];
+            off += 1;
+            if set.start + off >= set.end {
+                wi += 1;
+                off = 0;
+            }
+            pos[c] = (wi, off);
+            if wi < work[c].len() {
+                heap.push(Reverse((clock[c] as u64, c)));
+            }
+        }
+
+        let cycles = clock.iter().cloned().fold(0.0, f64::max) as u64;
+
+        // Collect deltas.
+        let (l1h1, l1m1) = self.l1_totals();
+        let (l2h1, l2m1, l2w1) = self.l2_totals();
+        let mut network = *self.net.stats();
+        network.messages -= net0.messages;
+        network.total_latency -= net0.total_latency;
+        network.total_hops -= net0.total_hops;
+        network.total_queue_cycles -= net0.total_queue_cycles;
+        network.total_flits -= net0.total_flits;
+
+        let mut dram = *self.dram.stats();
+        dram.requests -= dram0.requests;
+        dram.row_hits -= dram0.row_hits;
+        dram.row_empty -= dram0.row_empty;
+        dram.row_conflicts -= dram0.row_conflicts;
+        dram.total_latency -= dram0.total_latency;
+
+        // Measured rates.
+        let mut measured = MeasuredRates::zeroed(nsets, nrefs);
+        for (s, refs) in counters.iter().enumerate() {
+            for (r, ctr) in refs.iter().enumerate() {
+                measured.l1[s][r] =
+                    if ctr.total == 0 { 0.0 } else { ctr.l1_hits as f64 / ctr.total as f64 };
+                measured.llc[s][r] =
+                    if ctr.llc_seen == 0 { 0.0 } else { ctr.llc_hits as f64 / ctr.llc_seen as f64 };
+            }
+        }
+        let observed_mai = mai_tally
+            .iter()
+            .zip(&access_tally)
+            .map(|(tal, &n)| {
+                AffinityVec(tal.iter().map(|&x| if n == 0 { 0.0 } else { x as f64 / n as f64 }).collect())
+            })
+            .collect();
+        let observed_cai = cai_tally
+            .iter()
+            .zip(&access_tally)
+            .map(|(tal, &n)| {
+                AffinityVec(tal.iter().map(|&x| if n == 0 { 0.0 } else { x as f64 / n as f64 }).collect())
+            })
+            .collect();
+
+        RunResult {
+            cycles,
+            network,
+            l1: locmap_mem::CacheStats { hits: l1h1 - l1h0, misses: l1m1 - l1m0, writebacks: 0 },
+            l2: locmap_mem::CacheStats {
+                hits: l2h1 - l2h0,
+                misses: l2m1 - l2m0,
+                writebacks: l2w1 - l2w0,
+            },
+            dram,
+            measured,
+            observed_mai,
+            observed_cai,
+            invalidations: self.invalidations - inval_before,
+        }
+    }
+
+    /// Network statistics snapshot (cumulative over the simulator's life).
+    pub(crate) fn net_stats(&self) -> &locmap_noc::NetworkStats {
+        self.net.stats()
+    }
+
+    /// Link-utilization diagnostic: (busiest link cycles, mean busy cycles).
+    pub fn net_util(&self) -> (u64, f64) {
+        self.net.link_utilization()
+    }
+
+    /// Per-directed-link cumulative busy cycles (see
+    /// [`locmap_noc::Network::link_busy`]).
+    pub fn net_link_busy(&self) -> &[u64] {
+        self.net.link_busy()
+    }
+
+    fn l1_totals(&self) -> (u64, u64) {
+        self.l1s.iter().fold((0, 0), |(h, m), c| (h + c.stats().hits, m + c.stats().misses))
+    }
+
+    fn l2_totals(&self) -> (u64, u64, u64) {
+        self.l2s.iter().fold((0, 0, 0), |(h, m, w), c| {
+            (h + c.stats().hits, m + c.stats().misses, w + c.stats().writebacks)
+        })
+    }
+
+    /// Simulates one memory access by core `c` at cycle `t`.
+    ///
+    /// Returns `(completion_cycle, level_served, mc_index, bank_index)`.
+    /// `mc_index`/`bank_index` are meaningful for `Mem`/`Llc` levels
+    /// respectively (zero otherwise).
+    pub(crate) fn access(&mut self, t: u64, c: usize, addr: u64, acc: MemAccess) -> (u64, Level, usize, u16) {
+        let pa = PhysAddr(addr);
+        let core_node = NodeId(c as u16);
+        let l1_line = self.l1s[c].line_of(addr);
+
+        // Coherence: a write must invalidate other cores' copies.
+        if acc == MemAccess::Write && self.dir.is_shared_beyond(l1_line, c) {
+            let sharers = self.dir.sharers_excluding(l1_line, c);
+            for s in sharers {
+                self.l1s[s].invalidate(l1_line);
+                self.dir.remove_sharer(l1_line, s);
+                // Invalidation message travels home-bank → sharer (shared
+                // LLC) or writer → sharer (private); fire-and-forget, it
+                // occupies links but does not stall the writer (MOESI-lite).
+                let from = match self.platform.llc {
+                    LlcOrg::SharedSNuca => {
+                        self.platform.bank_node(self.platform.addr_map.llc_bank_of(pa))
+                    }
+                    LlcOrg::Private => core_node,
+                };
+                self.net.send(t, from, NodeId(s as u16), MessageKind::Coherence);
+                self.invalidations += 1;
+            }
+        }
+
+        // L1 lookup.
+        match self.l1s[c].access(l1_line, acc) {
+            locmap_mem::Lookup::Hit => {
+                self.dir.add_sharer(l1_line, c);
+                return (t + self.cfg.l1_hit_cycles, Level::L1, 0, 0);
+            }
+            locmap_mem::Lookup::Miss { evicted } => {
+                self.dir.add_sharer(l1_line, c);
+                if let Some(e) = evicted {
+                    self.dir.remove_sharer(e.line, c);
+                    if e.dirty {
+                        // Dirty L1 line drains to its home L2 bank; the
+                        // writeback is off the critical path.
+                        let victim_addr = e.line * self.cfg.l1.line_bytes;
+                        self.l1_writeback(t, c, victim_addr);
+                    }
+                }
+            }
+        }
+
+        // L2 / LLC level.
+        match self.platform.llc {
+            LlcOrg::Private => {
+                // Local bank, no network for the probe.
+                let t2 = t + self.cfg.l2_hit_cycles;
+                let l2_line = self.l2s[c].line_of(addr);
+                match self.l2s[c].access(l2_line, acc) {
+                    locmap_mem::Lookup::Hit => (t2 + self.cfg.l1_hit_cycles, Level::Llc, 0, c as u16),
+                    locmap_mem::Lookup::Miss { evicted } => {
+                        if let Some(e) = evicted {
+                            if e.dirty {
+                                self.l2_writeback(t2, c, e.line);
+                            }
+                        }
+                        let mc = self.platform.addr_map.mc_of(pa);
+                        let mc_node = self.platform.mc_node(mc);
+                        let t3 = self.net.send(t2, core_node, mc_node, MessageKind::MemRequest);
+                        let t4 = self.dram.access(t3, mc, pa, &self.platform.addr_map);
+                        let t5 = self.net.send(t4, mc_node, core_node, MessageKind::mem_response64());
+                        (t5 + self.cfg.l1_hit_cycles, Level::Mem, mc.index(), c as u16)
+                    }
+                }
+            }
+            LlcOrg::SharedSNuca => {
+                let bank = self.platform.addr_map.llc_bank_of(pa);
+                let bank_node = self.platform.bank_node(bank);
+                let t1 = self.net.send(t, core_node, bank_node, MessageKind::LlcRequest);
+                let t2 = t1 + self.cfg.l2_hit_cycles;
+                let l2_line = self.l2s[bank as usize].line_of(addr);
+                match self.l2s[bank as usize].access(l2_line, acc) {
+                    locmap_mem::Lookup::Hit => {
+                        let t3 =
+                            self.net.send(t2, bank_node, core_node, MessageKind::llc_response64());
+                        (t3 + self.cfg.l1_hit_cycles, Level::Llc, 0, bank)
+                    }
+                    locmap_mem::Lookup::Miss { evicted } => {
+                        if let Some(e) = evicted {
+                            if e.dirty {
+                                self.l2_writeback(t2, bank as usize, e.line);
+                            }
+                        }
+                        let mc = self.platform.addr_map.mc_of(pa);
+                        let mc_node = self.platform.mc_node(mc);
+                        let t3 = self.net.send(t2, bank_node, mc_node, MessageKind::MemRequest);
+                        let t4 = self.dram.access(t3, mc, pa, &self.platform.addr_map);
+                        let t5 =
+                            self.net.send(t4, mc_node, bank_node, MessageKind::mem_response64());
+                        let t6 =
+                            self.net.send(t5, bank_node, core_node, MessageKind::llc_response64());
+                        (t6 + self.cfg.l1_hit_cycles, Level::Mem, mc.index(), bank)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains a dirty L1 victim to its home L2 bank (fire-and-forget).
+    fn l1_writeback(&mut self, t: u64, c: usize, victim_addr: u64) {
+        let pa = PhysAddr(victim_addr);
+        let target_bank = match self.platform.llc {
+            LlcOrg::Private => c as u16,
+            LlcOrg::SharedSNuca => self.platform.addr_map.llc_bank_of(pa),
+        };
+        let bank_node = self.platform.bank_node(target_bank);
+        if bank_node != NodeId(c as u16) {
+            self.net.send(
+                t,
+                NodeId(c as u16),
+                bank_node,
+                MessageKind::Writeback { line_bytes: self.cfg.l1.line_bytes as u16 },
+            );
+        }
+        // Install in the L2 as dirty; evictions cascade to memory.
+        let l2_line = self.l2s[target_bank as usize].line_of(victim_addr);
+        if let locmap_mem::Lookup::Miss { evicted: Some(e) } =
+            self.l2s[target_bank as usize].access(l2_line, MemAccess::Write)
+        {
+            if e.dirty {
+                self.l2_writeback(t, target_bank as usize, e.line);
+            }
+        }
+    }
+
+    /// Drains a dirty L2 victim to its memory controller (fire-and-forget).
+    fn l2_writeback(&mut self, t: u64, bank: usize, l2_line: u64) {
+        let victim_addr = l2_line * self.cfg.l2_bank.line_bytes;
+        let pa = PhysAddr(victim_addr);
+        let mc = self.platform.addr_map.mc_of(pa);
+        let mc_node = self.platform.mc_node(mc);
+        let src = match self.platform.llc {
+            LlcOrg::Private => NodeId(bank as u16),
+            LlcOrg::SharedSNuca => self.platform.bank_node(bank as u16),
+        };
+        self.net.send(
+            t,
+            src,
+            mc_node,
+            MessageKind::Writeback { line_bytes: self.cfg.l2_bank.line_bytes as u16 },
+        );
+        self.dram.access(t, mc, pa, &self.platform.addr_map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_core::{Compiler, MappingOptions};
+    use locmap_loopir::{AffineExpr, LoopNest};
+
+    fn demo_program(elems: u64, refs: usize) -> (Program, locmap_loopir::NestId) {
+        let mut p = Program::new("demo");
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        for i in 0..refs {
+            let a = p.add_array(format!("A{i}"), 8, elems);
+            let acc = if i == 0 { Access::Write } else { Access::Read };
+            nest.add_ref(a, AffineExpr::var(0, 1), acc);
+        }
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    fn run(platform: Platform, cfg: SimConfig, optimized: bool) -> RunResult {
+        let (p, id) = demo_program(20_000, 3);
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = if optimized {
+            compiler.map_nest(&p, id, &DataEnv::new())
+        } else {
+            compiler.default_mapping(&p, id)
+        };
+        let mut sim = Simulator::new(platform, cfg);
+        sim.run_nest(&p, &mapping, &DataEnv::new())
+    }
+
+    #[test]
+    fn produces_nonzero_time_and_traffic() {
+        let r = run(Platform::paper_default(), SimConfig::default(), false);
+        assert!(r.cycles > 0);
+        assert!(r.network.messages > 0);
+        assert!(r.l1.hits + r.l1.misses > 0);
+        assert!(r.dram.requests > 0);
+    }
+
+    #[test]
+    fn ideal_network_is_faster() {
+        let real = run(Platform::paper_default(), SimConfig::default(), false);
+        let ideal = run(Platform::paper_default(), SimConfig::ideal_network(), false);
+        assert!(ideal.cycles < real.cycles, "ideal {} !< real {}", ideal.cycles, real.cycles);
+        assert_eq!(ideal.network.avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn optimized_mapping_reduces_network_latency_shared() {
+        let base = run(Platform::paper_default(), SimConfig::default(), false);
+        let opt = run(Platform::paper_default(), SimConfig::default(), true);
+        let red = RunResult::net_latency_reduction_pct(&base, &opt);
+        assert!(red > 0.0, "latency reduction {red}% (base {}, opt {})",
+            base.network.avg_latency(), opt.network.avg_latency());
+    }
+
+    #[test]
+    fn private_llc_has_less_traffic_than_shared() {
+        let shared = run(Platform::paper_default(), SimConfig::default(), false);
+        let private =
+            run(Platform::paper_default_with(LlcOrg::Private), SimConfig::default(), false);
+        // Shared LLC sends request/response for every L1 miss; private only
+        // for LLC misses.
+        assert!(private.network.messages < shared.network.messages);
+    }
+
+    #[test]
+    fn measured_rates_are_probabilities() {
+        let r = run(Platform::paper_default(), SimConfig::default(), false);
+        for row in r.measured.l1.iter().chain(r.measured.llc.iter()) {
+            for &x in row {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn observed_vectors_have_bounded_mass() {
+        let r = run(Platform::paper_default(), SimConfig::default(), false);
+        for v in r.observed_mai.iter().chain(r.observed_cai.iter()) {
+            assert!(v.mass() <= 1.0 + 1e-9);
+        }
+        // Hits + misses + L1 = all accesses: MAI and CAI masses sum ≤ 1.
+        for (m, c) in r.observed_mai.iter().zip(&r.observed_cai) {
+            assert!(m.mass() + c.mass() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(Platform::paper_default(), SimConfig::default(), true);
+        let b = run(Platform::paper_default(), SimConfig::default(), true);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::new(platform, SimConfig::default());
+        let cold = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let warm = sim.run_nest(&p, &mapping, &DataEnv::new());
+        sim.reset();
+        let cold2 = sim.run_nest(&p, &mapping, &DataEnv::new());
+        assert!(warm.cycles < cold.cycles, "warm rerun should be faster");
+        assert_eq!(cold.cycles, cold2.cycles, "reset must restore cold behavior");
+    }
+
+    #[test]
+    fn writes_to_shared_lines_generate_invalidations() {
+        // Two "phases" in one nest: every core reads the same small array,
+        // then a write pass touches it — modeled by one nest where all
+        // iterations read A[i % 64] (tiny shared footprint) and write B[i].
+        let mut p = Program::new("sharing");
+        let a = p.add_array("A", 8, 64);
+        let b = p.add_array("B", 8, 10_000);
+        let mut nest = LoopNest::rectangular("n", &[10_000]);
+        // Every iteration writes the same shared line region cyclically.
+        nest.add_ref(a, AffineExpr::constant(0), Access::Write);
+        nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::new(platform, SimConfig::default());
+        let r = sim.run_nest(&p, &mapping, &DataEnv::new());
+        assert!(r.invalidations > 0, "contended scalar write must invalidate");
+    }
+
+    #[test]
+    fn multi_nest_program_accumulates_time() {
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::new(platform, SimConfig::default());
+        let r1 = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let r2 = sim.run_nest(&p, &mapping, &DataEnv::new());
+        // Stats are deltas per run, not cumulative.
+        assert!(r2.network.messages <= r1.network.messages);
+        assert!(r2.l1.hits > 0);
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use locmap_core::{Compiler, MappingOptions};
+    use locmap_loopir::{Access, AffineExpr, AffineExpr as AE, LoopNest};
+    use locmap_noc::TopologyKind;
+
+    fn corner_heavy_program() -> (Program, locmap_loopir::NestId) {
+        // Stride-64B scan: every access is a fresh line, maximal traffic.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", 8, 1 << 16);
+        let mut nest = LoopNest::rectangular("scan", &[(1 << 13) as i64]).work(16);
+        nest.add_ref(a, AE::var(0, 8), Access::Read);
+        let _ = AffineExpr::constant(0);
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    #[test]
+    fn torus_network_reduces_latency_for_default_mapping() {
+        let (p, id) = corner_heavy_program();
+        let platform = Platform::paper_default_with(LlcOrg::Private);
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let data = DataEnv::new();
+
+        let mut mesh_sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mesh = mesh_sim.run_nest(&p, &mapping, &data);
+
+        let mut cfg = SimConfig::default();
+        cfg.noc.topology = TopologyKind::Torus;
+        let mut torus_sim = Simulator::new(platform, cfg);
+        let torus = torus_sim.run_nest(&p, &mapping, &data);
+
+        assert!(
+            torus.network.avg_hops() < mesh.network.avg_hops(),
+            "torus hops {:.2} !< mesh hops {:.2}",
+            torus.network.avg_hops(),
+            mesh.network.avg_hops()
+        );
+        assert!(torus.cycles <= mesh.cycles);
+    }
+
+    #[test]
+    fn ideal_network_has_zero_latency_but_counts_messages() {
+        let (p, id) = corner_heavy_program();
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::new(platform, SimConfig::ideal_network());
+        let r = sim.run_nest(&p, &mapping, &DataEnv::new());
+        assert_eq!(r.network.avg_latency(), 0.0);
+        assert!(r.network.messages > 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn writebacks_travel_to_memory() {
+        // Write-stream far larger than the LLC forces dirty evictions.
+        let mut p = Program::new("wb");
+        let a = p.add_array("A", 8, 1 << 18); // 2 MiB >> 1.15 MiB aggregate
+        let mut nest = LoopNest::rectangular("fill", &[(1 << 15) as i64]).work(8);
+        nest.add_ref(a, locmap_loopir::AffineExpr::var(0, 8), Access::Write);
+        let id = p.add_nest(nest);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::new(platform, SimConfig::default());
+        // Two passes: the second evicts dirty lines of the first.
+        sim.run_nest(&p, &mapping, &DataEnv::new());
+        let r = sim.run_nest(&p, &mapping, &DataEnv::new());
+        assert!(r.l2.writebacks > 0, "expected dirty L2 evictions");
+        // DRAM sees both fills and writeback drains.
+        assert!(r.dram.requests > r.l2.misses / 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! The 21 multi-threaded benchmarks of the PLDI'18 evaluation, rebuilt as
+//! synthetic loop-nest workloads.
+//!
+//! The paper evaluates on Splash-2 (barnes, fmm, radiosity, raytrace,
+//! volrend, water, cholesky, fft, lu, radix), CORAL/Mantevo (lulesh,
+//! minighost, hpccg), SPEC OMP (swim, art, equake), and kernels
+//! (jacobi-3d, mxm, nbf, moldyn, diff). We cannot ship those programs, so
+//! each is modeled as a [`locmap_loopir::Program`] whose parallel nests
+//! reproduce the benchmark's *access-pattern class* — dense streaming,
+//! stencils, triangular factorizations, butterfly passes, or index-array
+//! (irregular) access with a tuned locality profile — which is all the
+//! mapping pass and the simulator observe.
+//!
+//! Table 3's per-benchmark properties (loop-nest count, array count,
+//! iteration groups, fraction moved by balancing) are carried as metadata
+//! so the `table3` harness can print the paper's columns next to measured
+//! ones.
+//!
+//! # Example
+//!
+//! ```
+//! use locmap_workloads::{build, names, Scale};
+//!
+//! assert_eq!(names().len(), 21);
+//! let w = build("mxm", Scale::default());
+//! assert!(!w.irregular);
+//! assert!(w.program.nests().len() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builders;
+mod irregular;
+mod regular;
+mod spec;
+
+pub use spec::{Scale, Table3Info, Workload};
+
+/// The 21 benchmark names, in the paper's Table 3 / figure order.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "barnes", "fmm", "radiosity", "raytrace", "volrend", "water", "cholesky", "fft", "lu",
+        "radix", "jacobi-3d", "lulesh", "minighost", "swim", "mxm", "art", "nbf", "hpccg",
+        "equake", "moldyn", "diff",
+    ]
+}
+
+/// Builds benchmark `name` at the given scale.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`names`].
+pub fn build(name: &str, scale: Scale) -> Workload {
+    match name {
+        "barnes" => irregular::barnes(scale),
+        "fmm" => irregular::fmm(scale),
+        "radiosity" => irregular::radiosity(scale),
+        "raytrace" => irregular::raytrace(scale),
+        "volrend" => irregular::volrend(scale),
+        "water" => regular::water(scale),
+        "cholesky" => regular::cholesky(scale),
+        "fft" => regular::fft(scale),
+        "lu" => regular::lu(scale),
+        "radix" => irregular::radix(scale),
+        "jacobi-3d" => regular::jacobi3d(scale),
+        "lulesh" => regular::lulesh(scale),
+        "minighost" => regular::minighost(scale),
+        "swim" => regular::swim(scale),
+        "mxm" => regular::mxm(scale),
+        "art" => irregular::art(scale),
+        "nbf" => irregular::nbf(scale),
+        "hpccg" => irregular::hpccg(scale),
+        "equake" => irregular::equake(scale),
+        "moldyn" => irregular::moldyn(scale),
+        "diff" => regular::diff(scale),
+        other => panic!("unknown benchmark {other:?}; see locmap_workloads::names()"),
+    }
+}
+
+/// Builds every benchmark at the given scale.
+pub fn build_all(scale: Scale) -> Vec<Workload> {
+    names().iter().map(|n| build(n, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_loopir::{DependenceTest, IterationSpace};
+
+    #[test]
+    fn all_21_build() {
+        for w in build_all(Scale::default()) {
+            assert!(!w.program.nests().is_empty(), "{} has no nests", w.name);
+            assert!(w.program.footprint() > 0);
+        }
+    }
+
+    #[test]
+    fn irregular_flags_match_index_array_usage() {
+        for w in build_all(Scale::default()) {
+            let any_indirect = w.program.nests().iter().any(|n| n.is_irregular());
+            assert_eq!(w.irregular, any_indirect, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn irregular_workloads_supply_index_data() {
+        for w in build_all(Scale::default()) {
+            for nest in w.program.nests() {
+                for r in &nest.refs {
+                    if let locmap_loopir::RefKind::Indirect { index_array, .. } = &r.kind {
+                        assert!(w.data.has(*index_array), "{} missing index data", w.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_values_are_in_bounds() {
+        // Resolve every access of every irregular nest: Program::resolve
+        // panics (debug) on out-of-bounds, so a full sweep is the check.
+        for w in build_all(Scale::default()) {
+            if !w.irregular {
+                continue;
+            }
+            for nest in w.program.nests() {
+                let space = IterationSpace::enumerate(nest, &w.program.params());
+                for iv in space.iter().step_by(7) {
+                    for r in &nest.refs {
+                        let _ = w.program.resolve(r, iv, &w.data);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_sizes_are_simulation_friendly() {
+        for w in build_all(Scale::default()) {
+            let total: u64 = w
+                .program
+                .nests()
+                .iter()
+                .map(|n| n.iteration_count(&w.program.params()) * n.refs.len() as u64)
+                .sum();
+            assert!(total > 20_000, "{} too small ({total} accesses)", w.name);
+            assert!(total < 8_000_000, "{} too large ({total} accesses)", w.name);
+        }
+    }
+
+    #[test]
+    fn regular_parallel_nests_pass_dependence_test() {
+        for w in build_all(Scale::default()) {
+            if w.irregular {
+                continue;
+            }
+            for nest in w.program.nests() {
+                // Every declared-parallel regular nest must be provably
+                // safe — these model already-parallelized applications.
+                let t = DependenceTest::new(&w.program, nest);
+                assert!(t.parallel_loop_is_safe(), "{}::{} not parallel-safe", w.name, nest.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_grows_footprint() {
+        for name in ["mxm", "jacobi-3d", "moldyn"] {
+            let s1 = build(name, Scale::default());
+            let s2 = build(name, Scale::x2());
+            let s4 = build(name, Scale::x4());
+            assert!(s2.program.footprint() > s1.program.footprint(), "{name} x2");
+            assert!(s4.program.footprint() > s2.program.footprint(), "{name} x4");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build("moldyn", Scale::default());
+        let b = build("moldyn", Scale::default());
+        assert_eq!(a.program.footprint(), b.program.footprint());
+        // Index arrays identical.
+        for nest in a.program.nests() {
+            let space = IterationSpace::enumerate(nest, &a.program.params());
+            for iv in space.iter().step_by(97) {
+                for r in &nest.refs {
+                    assert_eq!(a.program.resolve(r, iv, &a.data), b.program.resolve(r, iv, &b.data));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table3_metadata_present() {
+        for w in build_all(Scale::default()) {
+            if w.name == "lu" || w.name == "radix" {
+                continue; // not in the paper's Table 3
+            }
+            assert!(w.table3.loop_nests > 0, "{}", w.name);
+            assert!(w.table3.iteration_groups > 0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based invariants across crates, driven by proptest.
+
+use locmap_core::{
+    assign_private, balance_regions, place_in_regions, AffinityVec, Cac, CacPolicy, EtaMetric,
+    Mac, MacPolicy, Platform, PlacementPolicy,
+};
+use locmap_noc::{route_xy, Mesh, MessageKind, Network, NocConfig, NodeId, RegionGrid, RegionId};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh> {
+    (2u16..=9, 2u16..=9).prop_map(|(w, h)| Mesh::new(w, h))
+}
+
+fn arb_affinity(m: usize) -> impl Strategy<Value = AffinityVec> {
+    proptest::collection::vec(0.0f64..1.0, m).prop_map(|v| AffinityVec(v).normalized())
+}
+
+proptest! {
+    #[test]
+    fn route_length_is_manhattan(mesh in arb_mesh(), a in 0u16..81, b in 0u16..81) {
+        let n = mesh.node_count() as u16;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        prop_assert_eq!(route_xy(mesh, a, b).len() as u32, mesh.distance(a, b));
+    }
+
+    #[test]
+    fn network_send_at_least_zero_load(
+        mesh in arb_mesh(),
+        pairs in proptest::collection::vec((0u16..81, 0u16..81, 0u64..5000), 1..40)
+    ) {
+        let mut net = Network::new(NocConfig::default(), mesh);
+        let n = mesh.node_count() as u16;
+        for (a, b, t) in pairs {
+            let (a, b) = (NodeId(a % n), NodeId(b % n));
+            let kind = MessageKind::llc_response64();
+            let zl = net.zero_load_latency(a, b, kind);
+            let arrival = net.send(t, a, b, kind);
+            prop_assert!(arrival - t >= zl, "latency below zero-load");
+        }
+    }
+
+    #[test]
+    fn eta_is_a_bounded_metric(a in arb_affinity(9), b in arb_affinity(9)) {
+        let d = a.eta(&b);
+        prop_assert!(d >= 0.0);
+        // Normalized 9-vectors differ by at most 2 in L1 → eta ≤ 2/9.
+        prop_assert!(d <= 2.0 / 9.0 + 1e-12);
+        prop_assert!((a.eta(&b) - b.eta(&a)).abs() < 1e-12, "symmetry");
+        prop_assert!(a.eta(&a) < 1e-12, "identity");
+    }
+
+    #[test]
+    fn eta_triangle_inequality(
+        a in arb_affinity(4),
+        b in arb_affinity(4),
+        c in arb_affinity(4)
+    ) {
+        prop_assert!(a.eta(&c) <= a.eta(&b) + b.eta(&c) + 1e-12);
+    }
+
+    #[test]
+    fn assignment_always_picks_a_minimum(mai in proptest::collection::vec(arb_affinity(4), 1..20)) {
+        let platform = Platform::paper_default();
+        let mac = Mac::compute(&platform, MacPolicy::NearestSet);
+        let picks = assign_private(&mai, &mac, EtaMetric::L1);
+        for (v, r) in mai.iter().zip(&picks) {
+            let chosen = v.eta(mac.of(*r));
+            for alt in 0..9u16 {
+                prop_assert!(chosen <= v.eta(mac.of(RegionId(alt))) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_preserves_sets_and_bounds_loads(
+        seed_regions in proptest::collection::vec(0u16..9, 1..200)
+    ) {
+        let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+        let mut assignment: Vec<RegionId> = seed_regions.iter().map(|&r| RegionId(r)).collect();
+        let before = assignment.len();
+        balance_regions(&mut assignment, &grid, &|_, _| 0.0);
+        prop_assert_eq!(assignment.len(), before);
+        let mut loads = vec![0usize; 9];
+        for r in &assignment {
+            loads[r.index()] += 1;
+        }
+        let lo = before / 9;
+        let hi = lo + usize::from(before % 9 != 0);
+        prop_assert!(loads.iter().all(|&c| c <= hi.max(1)), "loads {:?} exceed {}", loads, hi);
+    }
+
+    #[test]
+    fn placement_respects_regions_and_balance(
+        seed_regions in proptest::collection::vec(0u16..9, 1..150),
+        seed in 0u64..1000
+    ) {
+        let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+        let assignment: Vec<RegionId> = seed_regions.iter().map(|&r| RegionId(r)).collect();
+        let placement = place_in_regions(&assignment, &grid, PlacementPolicy::Random { seed });
+        for (s, core) in placement.iter().enumerate() {
+            prop_assert_eq!(grid.region_of(*core), assignment[s]);
+        }
+        // Within every region, per-core loads differ by at most 1.
+        for r in grid.regions() {
+            let cores = grid.nodes_in(r);
+            let loads: Vec<usize> = cores
+                .iter()
+                .map(|&c| placement.iter().filter(|&&p| p == c).count())
+                .collect();
+            let max = loads.iter().max().copied().unwrap_or(0);
+            let min = loads.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1, "region {} loads {:?}", r, loads);
+        }
+    }
+
+    #[test]
+    fn mac_cac_masses_are_unit(cols in 1u16..=6, rows in 1u16..=6) {
+        let mesh = Mesh::new(6, 6);
+        let mut platform = Platform::paper_default();
+        platform.regions = RegionGrid::new(mesh, cols, rows);
+        let mac = Mac::compute(&platform, MacPolicy::NearestSet);
+        let cac = Cac::compute(&platform, CacPolicy::default());
+        for v in mac.vectors() {
+            prop_assert!((v.mass() - 1.0).abs() < 1e-9);
+        }
+        for v in cac.vectors() {
+            prop_assert!((v.mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cache_total_accesses_conserved(lines in proptest::collection::vec(0u64..4096, 1..500)) {
+        use locmap_mem::{Access, Cache, CacheConfig};
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 64 });
+        for &l in &lines {
+            c.access(l, Access::Read);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
+        prop_assert!(c.resident_lines() <= 64);
+    }
+}

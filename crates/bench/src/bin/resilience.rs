@@ -1,0 +1,65 @@
+//! Resilience sweep: degraded-aware vs fault-oblivious mapping under
+//! escalating seed-deterministic fault scenarios.
+//!
+//! For each selected benchmark (all 21, or `LOCMAP_APPS=a,b,c`) and each
+//! scenario, prints the execution-time degradation vs the fault-free run
+//! and the aware-vs-oblivious gap on the same faulted machine. Seeds make
+//! every row bit-for-bit reproducible; override with `LOCMAP_FAULT_SEED`.
+
+use locmap_bench::resilience::evaluate_resilience;
+use locmap_bench::{print_table, Experiment};
+use locmap_core::LlcOrg;
+use locmap_noc::{FaultCounts, FaultPlan};
+use locmap_workloads::Scale;
+
+fn main() {
+    let seed: u64 = std::env::var("LOCMAP_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let scenarios: &[(&str, FaultCounts)] = &[
+        ("1 dead MC", FaultCounts { mcs: 1, ..FaultCounts::default() }),
+        ("2 dead links", FaultCounts { links: 2, ..FaultCounts::default() }),
+        ("1 dead router", FaultCounts { routers: 1, ..FaultCounts::default() }),
+        (
+            "mixed (1 MC + 2 links + 2 banks)",
+            FaultCounts { mcs: 1, links: 2, banks: 2, ..FaultCounts::default() },
+        ),
+    ];
+
+    for llc in [LlcOrg::Private, LlcOrg::SharedSNuca] {
+        let exp = Experiment::paper_default(llc);
+        let mcs = exp.platform.mc_coords.len();
+        for (label, counts) in scenarios {
+            let state = FaultPlan::random(seed, exp.platform.mesh, mcs, *counts).final_state();
+            let mut rows = Vec::new();
+            for w in locmap_bench::selected_apps(Scale::new(0.3)) {
+                match evaluate_resilience(&w, &exp, &state) {
+                    Ok(out) => rows.push(vec![
+                        out.name.clone(),
+                        format!("{:+.1}%", out.degradation_pct()),
+                        format!("{:.1}", out.oblivious.latency),
+                        format!("{:.1}", out.aware.latency),
+                        format!("{:+.1}%", out.aware_net_gain_pct()),
+                        format!("{:+.1}%", out.aware_exec_gain_pct()),
+                        format!("{}", out.aware.retries),
+                    ]),
+                    Err(e) => rows.push(vec![w.name.to_string(), format!("error: {e}")]),
+                }
+            }
+            print_table(
+                &format!("{llc:?} LLC, {label}, seed {seed}"),
+                &[
+                    "benchmark",
+                    "exec vs fault-free",
+                    "oblivious lat",
+                    "aware lat",
+                    "net gain",
+                    "exec gain",
+                    "retries",
+                ],
+                &rows,
+            );
+        }
+    }
+}

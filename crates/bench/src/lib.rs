@@ -16,6 +16,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod resilience;
+
 use locmap_baselines::{hardware_placement, optimize_layout};
 use locmap_core::{
     mean_eta, Compiler, Inspector, InspectorCostModel, MappingOptions, NestMapping, OracleModel,

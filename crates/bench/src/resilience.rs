@@ -1,0 +1,303 @@
+//! Resilience experiments: how much performance survives component death.
+//!
+//! [`evaluate_resilience`] runs one workload three ways and reports the
+//! comparison the `locmap faults` subcommand and the `resilience` binary
+//! print:
+//!
+//! 1. **fault-free** — the location-aware mapping on a healthy machine
+//!    (the reference everything degrades from);
+//! 2. **degraded-aware** — [`Compiler::new_degraded`] maps around the
+//!    faults (affinity folded onto redirect targets, dead regions
+//!    evacuated, only surviving cores placed) and runs on the faulted
+//!    simulator; irregular nests go through the bounded re-inspection
+//!    loop ([`Inspector::run_with_retry`]);
+//! 3. **fault-oblivious** — round-robin over the surviving cores (the OS
+//!    never schedules onto a dead core, but the deal is location-blind),
+//!    on the same faulted simulator.
+//!
+//! All three arms use the same methodology: one warm-up/profiling pass
+//! under the arm's default mapping, then one measurement pass under the
+//! arm's final mapping; reported cycles include inspector overhead.
+
+use crate::Experiment;
+use locmap_core::{
+    Compiler, Inspector, InspectorCostModel, NestMapping, RetryPolicy,
+};
+use locmap_loopir::{DataEnv, NestId, Program};
+use locmap_noc::{FaultState, LocmapError};
+use locmap_sim::Simulator;
+use locmap_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one arm (mapping scheme × machine state).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ArmOutcome {
+    /// Measurement-pass execution cycles plus inspector overhead.
+    pub cycles: u64,
+    /// Average on-chip network latency of the measurement pass.
+    pub latency: f64,
+    /// Inspector overhead charged into `cycles` (0 for oblivious arms).
+    pub overhead_cycles: u64,
+    /// Re-inspection rounds the retry loop needed.
+    pub retries: u32,
+    /// Fraction of iteration sets moved by (masked) load balancing.
+    pub frac_moved: f64,
+}
+
+/// The three-way comparison for one workload under one fault state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilienceOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Dead (links, routers, MCs, banks) in the injected state.
+    pub dead: (usize, usize, usize, usize),
+    /// Location-aware mapping on the healthy machine.
+    pub fault_free: ArmOutcome,
+    /// Degraded-aware mapping on the faulted machine.
+    pub aware: ArmOutcome,
+    /// Surviving-core round-robin on the faulted machine.
+    pub oblivious: ArmOutcome,
+}
+
+impl ResilienceOutcome {
+    /// Execution-time cost of the faults under degraded-aware mapping, as
+    /// % over fault-free (positive = slower).
+    pub fn degradation_pct(&self) -> f64 {
+        if self.fault_free.cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (self.aware.cycles as f64 - self.fault_free.cycles as f64)
+            / self.fault_free.cycles as f64
+    }
+
+    /// Net-latency reduction of degraded-aware over fault-oblivious
+    /// mapping on the same faulted machine (positive = aware is better).
+    pub fn aware_net_gain_pct(&self) -> f64 {
+        if self.oblivious.latency == 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.oblivious.latency - self.aware.latency) / self.oblivious.latency
+    }
+
+    /// Execution-time reduction of degraded-aware over fault-oblivious
+    /// mapping (positive = aware is better).
+    pub fn aware_exec_gain_pct(&self) -> f64 {
+        if self.oblivious.cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (self.oblivious.cycles as f64 - self.aware.cycles as f64)
+            / self.oblivious.cycles as f64
+    }
+}
+
+fn nest_ids(program: &Program) -> Vec<NestId> {
+    program.nest_ids().collect()
+}
+
+/// Runs one arm: profile pass under `compiler`'s default mapping, then the
+/// measurement pass under `aware ? map_nest : default` mappings.
+fn run_arm(
+    workload: &Workload,
+    exp: &Experiment,
+    compiler: &Compiler,
+    faults: Option<&FaultState>,
+    aware: bool,
+    retry: RetryPolicy,
+) -> Result<ArmOutcome, LocmapError> {
+    let program = &workload.program;
+    let data = &workload.data;
+    let nests = nest_ids(program);
+
+    let mut sim = Simulator::new(exp.platform.clone(), exp.sim);
+    if let Some(f) = faults {
+        sim.set_faults(f)?;
+    }
+
+    let defaults: Vec<NestMapping> =
+        nests.iter().map(|&n| compiler.default_mapping(program, n)).collect();
+    let mut profile = Vec::with_capacity(defaults.len());
+    for m in &defaults {
+        profile.push(sim.try_run_nest(program, m, data)?);
+    }
+
+    let mut overhead = 0u64;
+    let mut retries = 0u32;
+    let mappings: Vec<NestMapping> = if aware {
+        let inspector = Inspector::new(compiler, InspectorCostModel::default());
+        // Compile time must not see runtime index-array contents.
+        let compile_view = DataEnv::new();
+        let mut out = Vec::with_capacity(nests.len());
+        for &nid in &nests {
+            let m = compiler.map_nest(program, nid, &compile_view);
+            if !m.needs_inspector {
+                out.push(m);
+                continue;
+            }
+            let measured = &profile[nid.0 as usize].measured;
+            let rep = match faults {
+                // Healthy machine: predictions hold, no retry loop needed.
+                None => inspector.run(program, nid, data, measured),
+                // Faulted machine: re-inspect (bounded) when the rates
+                // observed while executing the mapping drift from the
+                // profiled ones.
+                Some(f) => inspector.run_with_retry(
+                    program,
+                    nid,
+                    data,
+                    measured,
+                    |candidate| {
+                        let mut probe = Simulator::new(exp.platform.clone(), exp.sim);
+                        probe.set_faults(f).expect("state validated by the outer sim");
+                        probe
+                            .try_run_nest(program, candidate, data)
+                            .expect("degraded mappings only use surviving cores")
+                            .measured
+                    },
+                    retry,
+                ),
+            };
+            overhead += rep.overhead_cycles;
+            retries += rep.retries;
+            out.push(rep.mapping);
+        }
+        out
+    } else {
+        defaults
+    };
+
+    let (mut moved, mut total_sets) = (0usize, 0usize);
+    for m in &mappings {
+        moved += m.balance.moved;
+        total_sets += m.balance.total;
+    }
+
+    let (mut cycles, mut lat, mut msgs) = (0u64, 0u64, 0u64);
+    for m in &mappings {
+        let r = sim.try_run_nest(program, m, data)?;
+        cycles += r.cycles;
+        lat += r.network.total_latency;
+        msgs += r.network.messages;
+    }
+
+    Ok(ArmOutcome {
+        cycles: cycles + overhead,
+        latency: if msgs == 0 { 0.0 } else { lat as f64 / msgs as f64 },
+        overhead_cycles: overhead,
+        retries,
+        frac_moved: if total_sets == 0 { 0.0 } else { moved as f64 / total_sets as f64 },
+    })
+}
+
+/// Runs the three-way resilience comparison for `workload` under `state`.
+///
+/// Returns a typed error — never panics — when the fault state is not
+/// survivable (machine partitioned, all MCs dead, no core left, …); the
+/// checks are the same ones [`Simulator::set_faults`] and
+/// [`Compiler::new_degraded`] perform.
+pub fn evaluate_resilience(
+    workload: &Workload,
+    exp: &Experiment,
+    state: &FaultState,
+) -> Result<ResilienceOutcome, LocmapError> {
+    let retry = RetryPolicy::default();
+
+    let clean = Compiler::new(exp.platform.clone(), exp.opts);
+    let fault_free = run_arm(workload, exp, &clean, None, true, retry)?;
+
+    let degraded = Compiler::new_degraded(exp.platform.clone(), exp.opts, state)?;
+    let aware = run_arm(workload, exp, &degraded, Some(state), true, retry)?;
+    let oblivious = run_arm(workload, exp, &degraded, Some(state), false, retry)?;
+
+    Ok(ResilienceOutcome {
+        name: workload.name.to_string(),
+        dead: state.effective(&exp.platform.mc_coords).dead_counts(),
+        fault_free,
+        aware,
+        oblivious,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_core::LlcOrg;
+    use locmap_noc::{FaultCounts, FaultPlan, NodeId};
+    use locmap_workloads::{build, Scale};
+
+    #[test]
+    fn dead_mc_scenario_aware_beats_oblivious_on_latency() {
+        // The acceptance scenario: mxm, private LLC, one dead MC, seed 7.
+        let w = build("mxm", Scale::new(0.3));
+        let exp = Experiment::paper_default(LlcOrg::Private);
+        let state = FaultPlan::random(
+            7,
+            exp.platform.mesh,
+            exp.platform.mc_coords.len(),
+            FaultCounts { mcs: 1, ..FaultCounts::default() },
+        )
+        .final_state();
+        let out = evaluate_resilience(&w, &exp, &state).unwrap();
+        assert_eq!(out.dead.2, 1, "exactly one MC dead");
+        assert!(out.fault_free.cycles > 0 && out.aware.cycles > 0 && out.oblivious.cycles > 0);
+        assert!(
+            out.aware_net_gain_pct() > 0.0,
+            "aware ({:.2}) must beat oblivious ({:.2}) net latency",
+            out.aware.latency,
+            out.oblivious.latency
+        );
+    }
+
+    #[test]
+    fn clean_state_shows_no_degradation() {
+        let w = build("mxm", Scale::new(0.3));
+        let exp = Experiment::paper_default(LlcOrg::Private);
+        let state =
+            FaultPlan::new(exp.platform.mesh, exp.platform.mc_coords.len()).final_state();
+        let out = evaluate_resilience(&w, &exp, &state).unwrap();
+        assert_eq!(out.dead, (0, 0, 0, 0));
+        assert_eq!(out.fault_free.cycles, out.aware.cycles);
+        assert!((out.degradation_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_router_run_is_deterministic() {
+        let w = build("mxm", Scale::new(0.3));
+        let exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+        let state = FaultPlan::new(exp.platform.mesh, exp.platform.mc_coords.len())
+            .dead_router(NodeId(14))
+            .final_state();
+        let a = evaluate_resilience(&w, &exp, &state).unwrap();
+        let b = evaluate_resilience(&w, &exp, &state).unwrap();
+        assert_eq!(a.aware.cycles, b.aware.cycles);
+        assert_eq!(a.oblivious.cycles, b.oblivious.cycles);
+        assert_eq!(a.aware.latency, b.aware.latency);
+    }
+
+    #[test]
+    fn irregular_workload_reports_retry_counters() {
+        let w = build("moldyn", Scale::new(0.3));
+        let exp = Experiment::paper_default(LlcOrg::SharedSNuca);
+        let state = FaultPlan::new(exp.platform.mesh, exp.platform.mc_coords.len())
+            .dead_mc(0)
+            .dead_bank(NodeId(8))
+            .final_state();
+        let out = evaluate_resilience(&w, &exp, &state).unwrap();
+        assert!(out.aware.overhead_cycles > 0, "inspector must cost something");
+        assert!(out.aware.retries <= RetryPolicy::default().max_retries);
+        assert_eq!(out.oblivious.retries, 0);
+    }
+
+    #[test]
+    fn unsurvivable_state_is_a_typed_error() {
+        let w = build("mxm", Scale::new(0.3));
+        let exp = Experiment::paper_default(LlcOrg::Private);
+        let mcs = exp.platform.mc_coords.len();
+        let mut plan = FaultPlan::new(exp.platform.mesh, mcs);
+        for k in 0..mcs {
+            plan = plan.dead_mc(k);
+        }
+        let state = plan.final_state();
+        let err = evaluate_resilience(&w, &exp, &state);
+        assert!(err.is_err());
+    }
+}

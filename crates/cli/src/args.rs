@@ -66,6 +66,38 @@ impl Args {
         }
     }
 
+    /// `--seed N` (default 7), the fault-injection RNG seed.
+    pub fn seed(&self) -> Result<u64, String> {
+        match self.get("seed") {
+            None => Ok(7),
+            Some(v) => {
+                v.parse().map_err(|_| format!("--seed must be a non-negative integer, got {v:?}"))
+            }
+        }
+    }
+
+    /// `--KEY N` non-negative count (default 0) — e.g. `--dead-mcs 1`.
+    pub fn count(&self, key: &str) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(0),
+            Some(v) => {
+                v.parse().map_err(|_| format!("--{key} must be a non-negative integer, got {v:?}"))
+            }
+        }
+    }
+
+    /// `--KEY WxH` dimension pair (e.g. `--mesh 6x6`), if present.
+    pub fn dims(&self, key: &str) -> Result<Option<(u16, u16)>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let bad = || format!("--{key} must look like WxH (e.g. 6x6), got {v:?}");
+                let (w, h) = v.split_once(['x', 'X']).ok_or_else(bad)?;
+                Ok(Some((w.trim().parse().map_err(|_| bad())?, h.trim().parse().map_err(|_| bad())?)))
+            }
+        }
+    }
+
     /// `--scale F` (default 1.0), the input-size factor.
     pub fn scale(&self) -> Result<Scale, String> {
         match self.get("scale") {
@@ -113,5 +145,25 @@ mod tests {
     fn apps_list_splits() {
         let a = Args::parse(&argv(&["--apps", "mxm, fft,moldyn"])).unwrap();
         assert_eq!(a.apps().unwrap(), vec!["mxm", "fft", "moldyn"]);
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let a = Args::parse(&argv(&["--dead-mcs", "2", "--seed", "13"])).unwrap();
+        assert_eq!(a.count("dead-mcs").unwrap(), 2);
+        assert_eq!(a.count("dead-links").unwrap(), 0);
+        assert_eq!(a.seed().unwrap(), 13);
+        assert_eq!(Args::parse(&[]).unwrap().seed().unwrap(), 7);
+        let bad = Args::parse(&argv(&["--dead-mcs", "-1"])).unwrap();
+        assert!(bad.count("dead-mcs").is_err());
+    }
+
+    #[test]
+    fn dims_parse() {
+        let a = Args::parse(&argv(&["--mesh", "8x4"])).unwrap();
+        assert_eq!(a.dims("mesh").unwrap(), Some((8, 4)));
+        assert_eq!(a.dims("regions").unwrap(), None);
+        let bad = Args::parse(&argv(&["--mesh", "8by4"])).unwrap();
+        assert!(bad.dims("mesh").is_err());
     }
 }

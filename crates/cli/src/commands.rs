@@ -1,8 +1,10 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use locmap_bench::resilience::evaluate_resilience;
 use locmap_bench::{evaluate, Experiment};
 use locmap_core::{region_loads, Compiler, Mac, MacPolicy, MappingOptions, Platform};
+use locmap_noc::{FaultCounts, FaultPlan, Mesh, RegionGrid};
 use locmap_sim::{run_multiprogram, SimConfig, Simulator, Slot};
 use locmap_workloads::{build, names};
 use std::process::ExitCode;
@@ -22,8 +24,14 @@ USAGE:
                                           multiprogrammed co-run
   locmap heat --app NAME [--llc L] [--scale F]
                                           router-pressure heatmaps
+  locmap faults --app NAME [--llc L] [--scale F] [--seed N]
+                [--dead-mcs N] [--dead-links N] [--dead-routers N] [--dead-banks N]
+                                          degraded-mode resilience comparison
 
 SCHEMES: default | la | ideal | oracle | hardware | do | la+do
+
+`locmap platform` also accepts --mesh WxH and --regions CxR to validate a
+custom partition (errors are reported, not panicked).
 ";
 
 /// `locmap list`.
@@ -52,6 +60,19 @@ pub fn list() -> ExitCode {
 /// `locmap platform`.
 pub fn platform(args: &Args) -> Result<(), String> {
     let llc = args.llc()?;
+    if let Some((w, h)) = args.dims("mesh")? {
+        // Custom-geometry validation path: typed constructor errors become
+        // friendly messages and a nonzero exit, never a panic.
+        let mesh = Mesh::try_new(w, h).map_err(String::from)?;
+        let (cols, rows) = args.dims("regions")?.unwrap_or((3, 3));
+        let grid = RegionGrid::try_new(mesh, cols, rows).map_err(String::from)?;
+        println!("mesh      : {mesh}");
+        println!("regions   : {} ({cols} cols x {rows} rows)", grid.region_count());
+        for r in grid.regions() {
+            println!("  {r}: {} cores", grid.nodes_in(r).len());
+        }
+        return Ok(());
+    }
     let p = Platform::paper_default_with(llc);
     println!("mesh      : {}", p.mesh);
     println!("regions   : {} ({} cols x {} rows)", p.region_count(), p.regions.cols(), p.regions.rows());
@@ -157,6 +178,53 @@ pub fn heat(args: &Args) -> Result<(), String> {
             locmap_sim::ascii_heatmap(platform.mesh, &pressure, &format!("{name}: {label}"))
         );
     }
+    Ok(())
+}
+
+/// `locmap faults`: inject a seed-deterministic fault scenario and compare
+/// fault-free, degraded-aware, and fault-oblivious (surviving-core
+/// round-robin) mappings.
+pub fn faults(args: &Args) -> Result<(), String> {
+    let name = args.app()?;
+    if !names().contains(&name) {
+        return Err(format!("unknown benchmark {name:?}; see `locmap list`"));
+    }
+    let w = build(name, args.scale()?);
+    let exp = Experiment::paper_default(args.llc()?);
+    let counts = FaultCounts {
+        links: args.count("dead-links")?,
+        routers: args.count("dead-routers")?,
+        mcs: args.count("dead-mcs")?,
+        banks: args.count("dead-banks")?,
+    };
+    let seed = args.seed()?;
+    let plan =
+        FaultPlan::random(seed, exp.platform.mesh, exp.platform.mc_coords.len(), counts);
+    plan.validate().map_err(String::from)?;
+    let state = plan.final_state();
+    let out = evaluate_resilience(&w, &exp, &state).map_err(String::from)?;
+
+    println!("benchmark        : {}", out.name);
+    println!("fault plan       : seed {seed}; {}", plan.summary());
+    let (l, r, m, b) = out.dead;
+    println!("effective dead   : {l} links, {r} routers, {m} MCs, {b} banks");
+    println!("degraded mapping : {:.1}% of sets rebalanced, {} re-inspections, {} overhead cycles",
+        out.aware.frac_moved * 100.0, out.aware.retries, out.aware.overhead_cycles);
+    println!(
+        "execution cycles : {} fault-free -> {} degraded-aware ({:+.1}%)",
+        out.fault_free.cycles,
+        out.aware.cycles,
+        out.degradation_pct()
+    );
+    println!("                   {} fault-oblivious (aware is {:+.1}% faster)",
+        out.oblivious.cycles, out.aware_exec_gain_pct());
+    println!(
+        "net latency      : {:.1} fault-free; {:.1} oblivious -> {:.1} aware ({:+.1}%)",
+        out.fault_free.latency,
+        out.oblivious.latency,
+        out.aware.latency,
+        -out.aware_net_gain_pct()
+    );
     Ok(())
 }
 

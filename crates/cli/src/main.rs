@@ -7,6 +7,7 @@
 //! locmap map --app mxm [options]      mapping summary (no simulation)
 //! locmap corun --apps mxm,fft [...]   multiprogrammed co-run
 //! locmap heat --app mxm [...]         router-pressure heatmaps
+//! locmap faults --app mxm [...]       fault-injection resilience report
 //! ```
 
 mod args;
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
         Some("map") => run(commands::map, &argv[1..]),
         Some("corun") => run(commands::corun, &argv[1..]),
         Some("heat") => run(commands::heat, &argv[1..]),
+        Some("faults") => run(commands::faults, &argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             ExitCode::SUCCESS

@@ -6,20 +6,15 @@ use serde::{Deserialize, Serialize};
 
 /// How the α weight (cache affinity vs. memory affinity) is chosen for
 /// the shared-LLC objective `η = α·ηc + (1−α)·ηm`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum AlphaPolicy {
     /// Per-set α from the hit model: the estimated LLC-hit fraction of the
     /// set's network-visible accesses (the paper's scheme, §4).
+    #[default]
     FromHits,
     /// A fixed α for every set (ablation: 0 = memory-only, 1 = cache-only,
     /// 0.5 = the unweighted Algorithm 2 pseudocode).
     Fixed(f64),
-}
-
-impl Default for AlphaPolicy {
-    fn default() -> Self {
-        AlphaPolicy::FromHits
-    }
 }
 
 /// Assigns each iteration set to the region whose MAC is most similar to

@@ -43,9 +43,29 @@ pub fn balance_regions(
     regions: &RegionGrid,
     cost: &dyn Fn(usize, RegionId) -> f64,
 ) -> BalanceReport {
+    let alive = vec![true; regions.region_count()];
+    balance_regions_masked(assignment, regions, cost, &alive)
+}
+
+/// Degraded-mode balancing: like [`balance_regions`], but regions whose
+/// `alive` flag is false take part only as donors with a target of zero —
+/// every set they hold is evacuated and no set is ever moved *into* them.
+/// The per-region targets are computed over the alive regions alone.
+///
+/// With an all-true mask this is exactly [`balance_regions`]. With an
+/// all-false mask there is nowhere to put anything; sets stay put (the
+/// caller is expected to reject such fault states long before balancing).
+pub fn balance_regions_masked(
+    assignment: &mut [RegionId],
+    regions: &RegionGrid,
+    cost: &dyn Fn(usize, RegionId) -> f64,
+    alive: &[bool],
+) -> BalanceReport {
     let nregions = regions.region_count();
+    assert_eq!(alive.len(), nregions, "alive mask length must match region count");
     let total = assignment.len();
-    if nregions == 0 || total == 0 {
+    let alive_count = alive.iter().filter(|&&a| a).count();
+    if alive_count == 0 || total == 0 {
         return BalanceReport { moved: 0, total };
     }
 
@@ -54,15 +74,19 @@ pub fn balance_regions(
         counts[r.index()] += 1;
     }
 
-    // Targets: every region ends at floor(avg) or ceil(avg). Donors shed
-    // down to `hi`; receivers fill to `lo` first (round 1), then up to `hi`
-    // if surplus remains (round 2).
-    let lo = total / nregions;
-    let hi = lo + usize::from(total % nregions != 0);
+    // Targets: every alive region ends at floor(avg) or ceil(avg) over the
+    // alive count; dead regions end at zero. Donors shed down to `hi` (or
+    // 0 when dead); receivers fill to `lo` first (round 1), then up to
+    // `hi` if surplus remains (round 2).
+    let lo = total / alive_count;
+    let hi = lo + usize::from(!total.is_multiple_of(alive_count));
+    let donor_targets: Vec<usize> = alive.iter().map(|&a| if a { hi } else { 0 }).collect();
 
     let mut moved = 0usize;
-    for need_target in [lo, hi] {
-        moved += transfer_round(assignment, regions, cost, &mut counts, hi, need_target);
+    for need in [lo, hi] {
+        let need_targets: Vec<usize> = alive.iter().map(|&a| if a { need } else { 0 }).collect();
+        moved +=
+            transfer_round(assignment, regions, cost, &mut counts, &donor_targets, &need_targets);
     }
     BalanceReport { moved, total }
 }
@@ -75,29 +99,26 @@ fn transfer_round(
     regions: &RegionGrid,
     cost: &dyn Fn(usize, RegionId) -> f64,
     counts: &mut [usize],
-    donor_target: usize,
-    need_target: usize,
+    donor_targets: &[usize],
+    need_targets: &[usize],
 ) -> usize {
-    let nregions = counts.len();
-    let mut surplus: Vec<usize> = counts.iter().map(|&c| c.saturating_sub(donor_target)).collect();
-    let mut need: Vec<usize> = counts.iter().map(|&c| need_target.saturating_sub(c)).collect();
+    let mut surplus: Vec<usize> =
+        counts.iter().zip(donor_targets).map(|(&c, &t)| c.saturating_sub(t)).collect();
+    let mut need: Vec<usize> =
+        counts.iter().zip(need_targets).map(|(&c, &t)| t.saturating_sub(c)).collect();
 
     // NBGH: all donor/receiver pairs ordered by centroid distance, closest
     // first, with deterministic tie-breaking on region ids.
     let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
-    for a in 0..nregions {
-        if surplus[a] == 0 {
-            continue;
-        }
-        for b in 0..nregions {
-            if need[b] == 0 || a == b {
-                continue;
-            }
+    for (a, _) in surplus.iter().enumerate().filter(|&(_, &s)| s > 0) {
+        for (b, _) in need.iter().enumerate().filter(|&(b, &n)| n > 0 && b != a) {
             let d = regions.region_distance(RegionId(a as u16), RegionId(b as u16));
             pairs.push((d, a, b));
         }
     }
-    pairs.sort_by(|x, y| x.partial_cmp(y).expect("region distances are finite"));
+    // total_cmp rather than partial_cmp: a NaN distance (impossible today,
+    // but cost models are pluggable) must not panic mid-balance.
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
 
     let mut moved = 0usize;
     for (_, a, b) in pairs {
@@ -112,7 +133,7 @@ fn transfer_round(
             .filter(|(_, r)| r.index() == a)
             .map(|(s, _)| (cost(s, RegionId(b as u16)), s))
             .collect();
-        candidates.sort_by(|x, y| x.partial_cmp(y).expect("costs are finite"));
+        candidates.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
         for &(_, s) in candidates.iter().take(k) {
             assignment[s] = RegionId(b as u16);
         }
@@ -237,5 +258,59 @@ mod tests {
         balance_regions(&mut a1, &g, &uniform_cost);
         balance_regions(&mut a2, &g, &uniform_cost);
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn masked_all_alive_matches_unmasked() {
+        let g = grid();
+        let mut a1 = vec![RegionId(4); 50];
+        let mut a2 = a1.clone();
+        balance_regions(&mut a1, &g, &uniform_cost);
+        balance_regions_masked(&mut a2, &g, &uniform_cost, &[true; 9]);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn masked_evacuates_dead_regions() {
+        let g = grid();
+        // 90 sets all in R5; R5 and R1 are dead.
+        let mut a = vec![RegionId(4); 90];
+        let mut alive = [true; 9];
+        alive[4] = false;
+        alive[0] = false;
+        let rep = balance_regions_masked(&mut a, &g, &uniform_cost, &alive);
+        let loads = region_loads(&a, 9);
+        assert_eq!(loads[4], 0, "{loads:?}");
+        assert_eq!(loads[0], 0, "{loads:?}");
+        // 90 sets over 7 alive regions: 12 or 13 each.
+        assert!(
+            loads.iter().enumerate().filter(|(r, _)| alive[*r]).all(|(_, &c)| c == 12 || c == 13),
+            "{loads:?}"
+        );
+        assert_eq!(rep.moved, 90);
+    }
+
+    #[test]
+    fn masked_never_fills_a_dead_region() {
+        let g = grid();
+        // Start balanced over all 9; kill R9 — its sets must leave and
+        // nothing may flow back in.
+        let mut a: Vec<RegionId> = (0..90).map(|i| RegionId(i % 9)).collect();
+        let mut alive = [true; 9];
+        alive[8] = false;
+        balance_regions_masked(&mut a, &g, &uniform_cost, &alive);
+        let loads = region_loads(&a, 9);
+        assert_eq!(loads[8], 0, "{loads:?}");
+        assert_eq!(loads.iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn masked_all_dead_is_a_no_op() {
+        let g = grid();
+        let mut a = vec![RegionId(4); 10];
+        let before = a.clone();
+        let rep = balance_regions_masked(&mut a, &g, &uniform_cost, &[false; 9]);
+        assert_eq!(rep.moved, 0);
+        assert_eq!(a, before);
     }
 }

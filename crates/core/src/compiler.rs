@@ -11,34 +11,29 @@
 
 use crate::affinity::{compute_cai, compute_cai_reaching, compute_mai, AffinityInputs};
 use crate::assign::{assign_private, assign_shared, AlphaPolicy};
-use crate::balance::{balance_regions, BalanceReport};
+use crate::balance::{balance_regions_masked, BalanceReport};
 use crate::hits::{AllMissModel, CmeModel, HitModel};
-use crate::placement::{place_in_regions, PlacementPolicy};
+use crate::placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 use crate::platform::{LlcOrg, Platform};
 use crate::vectors::{AffinityVec, Cac, CacPolicy, EtaMetric, Mac, MacPolicy};
 use locmap_cme::{CmeConfig, CmeEstimator};
 use locmap_loopir::{DataEnv, IterationSet, IterationSpace, NestId, Program};
-use locmap_noc::{NodeId, RegionId};
+use locmap_noc::{FaultState, LocmapError, NodeId, RegionId};
 use serde::{Deserialize, Serialize};
 
 /// How the shared-LLC (S-NUCA) assignment objective treats LLC misses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SharedObjective {
     /// CAI counts all LLC-reaching accesses (hits *and* misses) at their
     /// home-bank regions — the engineering form of the paper's §3.8
     /// adjustment ("consider the locations of the LLC caches instead of
     /// cores" for misses), since in S-NUCA every controllable leg is
     /// core→home-bank. This is the default.
+    #[default]
     BankDistance,
     /// The paper's literal Algorithm 2: CAI from hits only, blended with
     /// the MC-affinity term by α. Kept for ablation.
     PaperAlphaBlend,
-}
-
-impl Default for SharedObjective {
-    fn default() -> Self {
-        SharedObjective::BankDistance
-    }
 }
 
 /// Tunables of the mapping pass.
@@ -118,6 +113,43 @@ impl NestMapping {
     }
 }
 
+/// Fault-derived redirect tables the degraded-mode mapper consults.
+///
+/// Built once per fault state from the same [`FaultState`] redirect
+/// functions the simulator uses, so mapper and machine agree on where
+/// displaced traffic lands.
+#[derive(Debug, Clone)]
+struct DegradedInfo {
+    /// `mc_redirect[k]` = the alive MC absorbing MC `k`'s traffic
+    /// (identity for alive MCs).
+    mc_redirect: Vec<usize>,
+    /// `bank_region_redirect[j]` = the nearest region with a surviving
+    /// LLC bank (identity when region `j` still has one) — folds CAI
+    /// weight homed in bank-dead regions.
+    bank_region_redirect: Vec<usize>,
+    /// Per-node router/core liveness.
+    alive_cores: Vec<bool>,
+    /// Per-region: at least one core survives.
+    alive_regions: Vec<bool>,
+    /// `core_region_redirect[j]` = nearest region with a surviving core
+    /// (identity when region `j` has one) — evacuates assignments out of
+    /// fully dead regions before balancing.
+    core_region_redirect: Vec<RegionId>,
+}
+
+impl DegradedInfo {
+    /// Moves each dead component's affinity weight onto the component that
+    /// absorbs its traffic.
+    fn fold(v: &mut AffinityVec, redirect: &[usize]) {
+        for (k, &to) in redirect.iter().enumerate() {
+            if to != k {
+                let w = std::mem::replace(&mut v.0[k], 0.0);
+                v.0[to] += w;
+            }
+        }
+    }
+}
+
 /// The location-aware mapping compiler.
 #[derive(Debug, Clone)]
 pub struct Compiler {
@@ -125,6 +157,7 @@ pub struct Compiler {
     options: MappingOptions,
     mac: Mac,
     cac: Cac,
+    degraded: Option<DegradedInfo>,
 }
 
 impl Compiler {
@@ -132,7 +165,97 @@ impl Compiler {
     pub fn new(platform: Platform, options: MappingOptions) -> Self {
         let mac = Mac::compute(&platform, options.mac_policy);
         let cac = Cac::compute(&platform, options.cac_policy);
-        Compiler { platform, options, mac, cac }
+        Compiler { platform, options, mac, cac, degraded: None }
+    }
+
+    /// Creates a degraded-mode compiler that maps around the faults in
+    /// `state`: MAC/CAC are recomputed over surviving MCs and banks, MAI/CAI
+    /// weight aimed at dead components is folded onto their redirect
+    /// targets, regions with no surviving core are evacuated, and placement
+    /// only uses alive cores.
+    ///
+    /// `state` is folded through [`FaultState::effective`] first, so dead
+    /// routers imply their bank/MC deaths exactly as the simulator sees
+    /// them. Returns [`LocmapError::FaultConflict`] when nothing survives
+    /// to map onto (no alive core, MC, or — for shared LLCs — bank).
+    pub fn new_degraded(
+        platform: Platform,
+        options: MappingOptions,
+        state: &FaultState,
+    ) -> Result<Self, LocmapError> {
+        let eff = state.effective(&platform.mc_coords);
+
+        let mac = Mac::compute_degraded(&platform, options.mac_policy, &eff)?;
+        let cac = match platform.llc {
+            // Private LLCs never consult CAC; keep the fault-free one.
+            LlcOrg::Private => Cac::compute(&platform, options.cac_policy),
+            LlcOrg::SharedSNuca => Cac::compute_degraded(&platform, options.cac_policy, &eff)?,
+        };
+
+        let mc_redirect = eff.mc_redirects(&platform.mc_coords)?;
+
+        let regions = &platform.regions;
+        let nregions = regions.region_count();
+        let alive_cores: Vec<bool> =
+            platform.mesh.nodes().map(|n| eff.router_alive(n)).collect();
+        let region_has = |j: usize, pred: &dyn Fn(NodeId) -> bool| {
+            regions.nodes_in(RegionId(j as u16)).iter().any(|&n| pred(n))
+        };
+        let alive_regions: Vec<bool> =
+            (0..nregions).map(|j| region_has(j, &|n| eff.router_alive(n))).collect();
+        if !alive_regions.iter().any(|&a| a) {
+            return Err(LocmapError::FaultConflict("no surviving cores to map onto".into()));
+        }
+        let bank_regions: Vec<bool> =
+            (0..nregions).map(|j| region_has(j, &|n| eff.bank_alive(n))).collect();
+
+        // Nearest surviving region by centroid distance, region id breaking
+        // ties — the same rule FaultState uses for per-component redirects.
+        let nearest = |j: usize, alive: &[bool]| -> RegionId {
+            let from = RegionId(j as u16);
+            if alive[j] {
+                return from;
+            }
+            let mut best: Option<(f64, usize)> = None;
+            for (k, &a) in alive.iter().enumerate() {
+                if !a {
+                    continue;
+                }
+                let d = regions.region_distance(from, RegionId(k as u16));
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, k));
+                }
+            }
+            RegionId(best.expect("at least one region alive").1 as u16)
+        };
+        let core_region_redirect: Vec<RegionId> =
+            (0..nregions).map(|j| nearest(j, &alive_regions)).collect();
+        let bank_region_redirect: Vec<usize> = if bank_regions.iter().any(|&a| a) {
+            (0..nregions).map(|j| nearest(j, &bank_regions).index()).collect()
+        } else {
+            // All banks dead: only reachable for private LLCs (everything
+            // bypasses to memory); CAI is unused, keep the identity map.
+            (0..nregions).collect()
+        };
+
+        Ok(Compiler {
+            platform,
+            options,
+            mac,
+            cac,
+            degraded: Some(DegradedInfo {
+                mc_redirect,
+                bank_region_redirect,
+                alive_cores,
+                alive_regions,
+                core_region_redirect,
+            }),
+        })
+    }
+
+    /// True when this compiler maps for a degraded (faulted) machine.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 
     /// The platform description.
@@ -227,7 +350,14 @@ impl Compiler {
         // comparison against MAC/CAC — which are unit-mass preference
         // vectors — only the *direction* matters, so compare normalized
         // copies; the hit/miss magnitude split is what α carries.
-        let mai = compute_mai(&inputs, &self.platform, model);
+        let mut mai = compute_mai(&inputs, &self.platform, model);
+        if let Some(d) = &self.degraded {
+            // Traffic aimed at a dead MC is served by its redirect target;
+            // give the affinity weight to where the requests actually go.
+            for v in &mut mai {
+                DegradedInfo::fold(v, &d.mc_redirect);
+            }
+        }
         let mai_n: Vec<AffinityVec> = mai.iter().map(|v| v.clone().normalized()).collect();
         let (cai, cai_n, alphas, mut regions) = match self.platform.llc {
             LlcOrg::Private => {
@@ -235,7 +365,7 @@ impl Compiler {
                 (Vec::new(), Vec::new(), Vec::new(), regions)
             }
             LlcOrg::SharedSNuca => {
-                let cai = match self.options.shared_objective {
+                let mut cai = match self.options.shared_objective {
                     SharedObjective::BankDistance => {
                         compute_cai_reaching(&inputs, &self.platform, model)
                     }
@@ -243,6 +373,11 @@ impl Compiler {
                         compute_cai(&inputs, &self.platform, model)
                     }
                 };
+                if let Some(d) = &self.degraded {
+                    for v in &mut cai {
+                        DegradedInfo::fold(v, &d.bank_region_redirect);
+                    }
+                }
                 let cai_n: Vec<AffinityVec> =
                     cai.iter().map(|v| v.clone().normalized()).collect();
                 let nrefs = nest.refs.len();
@@ -263,6 +398,19 @@ impl Compiler {
             }
         };
 
+        if let Some(d) = &self.degraded {
+            // Evacuate assignments out of regions with no surviving core
+            // before balancing, so the masked balancer only shuffles load
+            // among schedulable regions.
+            for r in &mut regions {
+                *r = d.core_region_redirect[r.index()];
+            }
+        }
+
+        let alive_regions = match &self.degraded {
+            Some(d) => d.alive_regions.clone(),
+            None => vec![true; self.platform.regions.region_count()],
+        };
         let balance = if self.options.balance {
             let cost = |s: usize, r: RegionId| -> f64 {
                 let eta_m = mai_n[s].eta_with(self.mac.of(r), self.options.eta);
@@ -274,12 +422,25 @@ impl Compiler {
                     }
                 }
             };
-            balance_regions(&mut regions, &self.platform.regions, &cost)
+            balance_regions_masked(&mut regions, &self.platform.regions, &cost, &alive_regions)
         } else {
             BalanceReport { moved: 0, total: sets.len() }
         };
 
-        let assignment = place_in_regions(&regions, &self.platform.regions, self.options.placement);
+        let assignment = match &self.degraded {
+            Some(d) => {
+                place_in_regions_masked(
+                    &regions,
+                    &self.platform.regions,
+                    self.options.placement,
+                    &d.alive_cores,
+                )
+                // new_degraded guarantees an alive region exists and every
+                // set was redirected into one above.
+                .expect("degraded mapping keeps sets out of dead regions")
+            }
+            None => place_in_regions(&regions, &self.platform.regions, self.options.placement),
+        };
 
         NestMapping {
             nest: nest_id,
@@ -296,10 +457,16 @@ impl Compiler {
 
     /// The evaluation's *default mapping* baseline: iteration sets dealt to
     /// cores round-robin, location-blind.
+    ///
+    /// Under a degraded compiler the deal cycles over *surviving* cores
+    /// only — still blind to location, but schedulable (the OS would never
+    /// dispatch a thread to a dead core).
     pub fn round_robin_schedule(&self, nest_id: NestId, sets: &[IterationSet]) -> NestMapping {
-        let cores = self.platform.mesh.node_count() as u16;
-        let assignment: Vec<NodeId> =
-            sets.iter().map(|s| NodeId((s.id % cores as usize) as u16)).collect();
+        let cores: Vec<NodeId> = match &self.degraded {
+            Some(d) => self.platform.mesh.nodes().filter(|n| d.alive_cores[n.index()]).collect(),
+            None => self.platform.mesh.nodes().collect(),
+        };
+        let assignment: Vec<NodeId> = sets.iter().map(|s| cores[s.id % cores.len()]).collect();
         let regions: Vec<RegionId> =
             assignment.iter().map(|&n| self.platform.regions.region_of(n)).collect();
         NestMapping {
@@ -446,6 +613,134 @@ mod tests {
 }
 
 #[cfg(test)]
+mod degraded_tests {
+    use super::*;
+    use locmap_loopir::{Access, AffineExpr, LoopNest};
+    use locmap_noc::{FaultPlan, NodeId};
+
+    fn streaming_program() -> (Program, NestId) {
+        let mut p = Program::new("stream");
+        let n = 8192u64;
+        let a = p.add_array("A", 8, n);
+        let b = p.add_array("B", 8, n);
+        let mut nest = LoopNest::rectangular("n", &[n as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    #[test]
+    fn fault_free_state_reproduces_baseline_mapping() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default();
+        let clean = FaultPlan::new(platform.mesh, platform.mc_coords.len()).final_state();
+        let c0 = Compiler::new(platform.clone(), MappingOptions::default());
+        let c1 = Compiler::new_degraded(platform, MappingOptions::default(), &clean).unwrap();
+        let m0 = c0.map_nest(&p, id, &DataEnv::new());
+        let m1 = c1.map_nest(&p, id, &DataEnv::new());
+        assert_eq!(m0.assignment, m1.assignment);
+        assert_eq!(m0.regions, m1.regions);
+    }
+
+    #[test]
+    fn degraded_mapping_avoids_dead_cores() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default();
+        let dead = [NodeId(7), NodeId(8), NodeId(21)];
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_coords.len());
+        for &n in &dead {
+            plan = plan.dead_router(n);
+        }
+        let state = plan.final_state();
+        let c =
+            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+        assert!(c.is_degraded());
+        let m = c.map_nest(&p, id, &DataEnv::new());
+        for &core in &m.assignment {
+            assert!(!dead.contains(&core), "mapped a set to dead core {core:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_round_robin_cycles_over_survivors() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default();
+        let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+            .dead_router(NodeId(0))
+            .final_state();
+        let c =
+            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+        let m = c.default_mapping(&p, id);
+        assert!(m.assignment.iter().all(|&n| n != NodeId(0)));
+        // 35 survivors: set 0 lands on node 1 (the first alive core).
+        assert_eq!(m.assignment[0], NodeId(1));
+        assert_eq!(m.assignment[35], NodeId(1));
+    }
+
+    #[test]
+    fn degraded_mapping_with_dead_mc_remains_balanced() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default();
+        let state =
+            FaultPlan::new(platform.mesh, platform.mc_coords.len()).dead_mc(0).final_state();
+        let c =
+            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+        let m = c.map_nest(&p, id, &DataEnv::new());
+        let loads = crate::balance::region_loads(&m.regions, 9);
+        let max = loads.iter().max().unwrap();
+        let min = loads.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn dead_region_is_fully_evacuated() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default();
+        // Region R1 (top-left 2x2 on the 6x6 paper grid) is nodes 0, 1, 6, 7.
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_coords.len());
+        for n in [0u16, 1, 6, 7] {
+            plan = plan.dead_router(NodeId(n));
+        }
+        let state = plan.final_state();
+        let c =
+            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+        let m = c.map_nest(&p, id, &DataEnv::new());
+        assert!(
+            m.regions.iter().all(|r| r.index() != 0),
+            "sets remain in the dead region"
+        );
+    }
+
+    #[test]
+    fn all_routers_dead_is_a_typed_error() {
+        let platform = Platform::paper_default();
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_coords.len());
+        for n in platform.mesh.nodes() {
+            plan = plan.dead_router(n);
+        }
+        let state = plan.final_state();
+        let err = Compiler::new_degraded(platform, MappingOptions::default(), &state);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn degraded_private_llc_maps_cleanly() {
+        let (p, id) = streaming_program();
+        let platform = Platform::paper_default_with(LlcOrg::Private);
+        let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+            .dead_mc(1)
+            .dead_bank(NodeId(14))
+            .final_state();
+        let c =
+            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+        let m = c.map_nest(&p, id, &DataEnv::new());
+        assert_eq!(m.assignment.len(), m.sets.len());
+        assert!(m.cai.is_empty());
+    }
+}
+
+#[cfg(test)]
 mod objective_tests {
     use super::*;
     use locmap_loopir::{Access, AffineExpr, LoopNest};
@@ -500,10 +795,9 @@ mod objective_tests {
     #[test]
     fn inverse_distance_mac_changes_assignment_granularity() {
         let (p, id) = stream(1 << 16);
-        let mut o1 = MappingOptions::default();
-        o1.mac_policy = MacPolicy::NearestSet;
-        let mut o2 = MappingOptions::default();
-        o2.mac_policy = MacPolicy::InverseDistance;
+        let o1 = MappingOptions { mac_policy: MacPolicy::NearestSet, ..Default::default() };
+        let o2 =
+            MappingOptions { mac_policy: MacPolicy::InverseDistance, ..Default::default() };
         let platform = Platform::paper_default_with(LlcOrg::Private);
         let m1 = Compiler::new(platform.clone(), o1).map_nest(&p, id, &DataEnv::new());
         let m2 = Compiler::new(platform, o2).map_nest(&p, id, &DataEnv::new());

@@ -56,6 +56,56 @@ pub struct InspectorReport {
     /// charges this against the optimized execution time (the paper's
     /// "runtime overheads are fully captured").
     pub overhead_cycles: u64,
+    /// How many re-inspection rounds [`Inspector::run_with_retry`] needed
+    /// (0 when the first mapping's predictions held up, or for plain
+    /// [`Inspector::run`]).
+    #[serde(default)]
+    pub retries: u32,
+}
+
+/// When to give up on a mapping and re-run the inspector.
+///
+/// Under faults (or phase changes) the hit rates observed while *executing*
+/// a mapping can drift from the rates the mapping was derived from; once
+/// the drift exceeds `divergence_threshold` the inspector re-profiles and
+/// remaps, paying a backoff that doubles per round so a machine that keeps
+/// degrading cannot trap the runtime in a remap storm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum re-inspection rounds before accepting the last mapping.
+    pub max_retries: u32,
+    /// Mean absolute hit-rate drift (over every set × reference entry)
+    /// that triggers a remap.
+    pub divergence_threshold: f64,
+    /// Cycles charged for the first retry; doubles each round.
+    pub backoff_base_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, divergence_threshold: 0.08, backoff_base_cycles: 10_000 }
+    }
+}
+
+/// Mean absolute difference between two rate tables (both levels).
+fn divergence(a: &MeasuredRates, b: &MeasuredRates) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (ta, tb) in [(&a.l1, &b.l1), (&a.llc, &b.llc)] {
+        assert_eq!(ta.len(), tb.len(), "rate tables cover the same sets");
+        for (ra, rb) in ta.iter().zip(tb) {
+            assert_eq!(ra.len(), rb.len(), "rate tables cover the same references");
+            for (x, y) in ra.iter().zip(rb) {
+                sum += (x - y).abs();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 /// Runs the mapping algorithm on observed runtime behavior.
@@ -94,7 +144,46 @@ impl<'a> Inspector<'a> {
             + (analyzed_accesses * self.cost.cycles_per_access / par) as u64
             + (mapping.sets.len() as f64 * self.cost.cycles_per_set / par) as u64;
 
-        InspectorReport { mapping, overhead_cycles }
+        InspectorReport { mapping, overhead_cycles, retries: 0 }
+    }
+
+    /// Inspector–executor loop with bounded re-inspection (degraded mode).
+    ///
+    /// Runs the inspector on `initial` rates, then asks `reprofile` for the
+    /// rates actually observed while executing the produced mapping. If the
+    /// observation drifts from the prediction by more than
+    /// `policy.divergence_threshold` (mean absolute hit-rate difference),
+    /// the inspector remaps from the observed rates and tries again — up to
+    /// `policy.max_retries` rounds, with an exponentially growing backoff
+    /// charged to the overhead so a degrading machine cannot trap the
+    /// runtime in a remap storm.
+    pub fn run_with_retry(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        initial: &MeasuredRates,
+        mut reprofile: impl FnMut(&NestMapping) -> MeasuredRates,
+        policy: RetryPolicy,
+    ) -> InspectorReport {
+        let mut report = self.run(program, nest_id, data, initial);
+        let mut predicted = initial.clone();
+        let mut backoff = policy.backoff_base_cycles;
+        for _ in 0..policy.max_retries {
+            let observed = reprofile(&report.mapping);
+            if divergence(&predicted, &observed) <= policy.divergence_threshold {
+                break;
+            }
+            let redo = self.run(program, nest_id, data, &observed);
+            report = InspectorReport {
+                mapping: redo.mapping,
+                overhead_cycles: report.overhead_cycles + redo.overhead_cycles + backoff,
+                retries: report.retries + 1,
+            };
+            backoff = backoff.saturating_mul(2);
+            predicted = observed;
+        }
+        report
     }
 }
 
@@ -142,6 +231,94 @@ mod tests {
         let r1 = inspector.run(&p1, id1, &d1, &m1);
         let r2 = inspector.run(&p2, id2, &d2, &m2);
         assert!(r2.overhead_cycles > r1.overhead_cycles);
+    }
+
+    #[test]
+    fn retry_converges_immediately_when_prediction_holds() {
+        let (p, id, data) = irregular_program(4000);
+        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let inspector = Inspector::new(&compiler, InspectorCostModel::default());
+        let sets = compiler.default_mapping(&p, id).sets.len();
+        let measured = MeasuredRates::zeroed(sets, 1);
+        let base = inspector.run(&p, id, &data, &measured);
+        let rep = inspector.run_with_retry(
+            &p,
+            id,
+            &data,
+            &measured,
+            |_| MeasuredRates::zeroed(sets, 1),
+            RetryPolicy::default(),
+        );
+        assert_eq!(rep.retries, 0);
+        assert_eq!(rep.overhead_cycles, base.overhead_cycles);
+        assert_eq!(rep.mapping.assignment, base.mapping.assignment);
+    }
+
+    #[test]
+    fn retry_remaps_on_divergence_and_charges_backoff() {
+        let (p, id, data) = irregular_program(4000);
+        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let inspector = Inspector::new(&compiler, InspectorCostModel::default());
+        let sets = compiler.default_mapping(&p, id).sets.len();
+        let initial = MeasuredRates::zeroed(sets, 1);
+        let base = inspector.run(&p, id, &data, &initial);
+        // Observation flips every rate to 1.0 once, then stays put: exactly
+        // one retry.
+        let mut calls = 0u32;
+        let rep = inspector.run_with_retry(
+            &p,
+            id,
+            &data,
+            &initial,
+            |_| {
+                calls += 1;
+                let mut m = MeasuredRates::zeroed(sets, 1);
+                for s in 0..sets {
+                    m.l1[s][0] = 1.0;
+                    m.llc[s][0] = 1.0;
+                }
+                m
+            },
+            RetryPolicy::default(),
+        );
+        assert_eq!(rep.retries, 1);
+        assert_eq!(calls, 2, "one diverging observation, one confirming");
+        assert!(
+            rep.overhead_cycles >= 2 * base.overhead_cycles + 10_000,
+            "retry must charge remap + backoff: {} vs base {}",
+            rep.overhead_cycles,
+            base.overhead_cycles
+        );
+    }
+
+    #[test]
+    fn retry_is_bounded_by_policy() {
+        let (p, id, data) = irregular_program(2000);
+        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let inspector = Inspector::new(&compiler, InspectorCostModel::default());
+        let sets = compiler.default_mapping(&p, id).sets.len();
+        let initial = MeasuredRates::zeroed(sets, 1);
+        // Observations alternate between extremes: never converges.
+        let mut flip = false;
+        let policy = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+        let rep = inspector.run_with_retry(
+            &p,
+            id,
+            &data,
+            &initial,
+            |_| {
+                flip = !flip;
+                let mut m = MeasuredRates::zeroed(sets, 1);
+                if flip {
+                    for s in 0..sets {
+                        m.llc[s][0] = 1.0;
+                    }
+                }
+                m
+            },
+            policy,
+        );
+        assert_eq!(rep.retries, 2);
     }
 
     #[test]

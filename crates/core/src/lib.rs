@@ -57,11 +57,11 @@ mod vectors;
 
 pub use affinity::{compute_cai, compute_cai_reaching, compute_mai, mean_eta, AffinityInputs};
 pub use assign::{assign_private, assign_shared, AlphaPolicy};
-pub use balance::{balance_regions, region_loads, BalanceReport};
+pub use balance::{balance_regions, balance_regions_masked, region_loads, BalanceReport};
 pub use compiler::{Compiler, MappingOptions, NestMapping, SharedObjective};
 pub use emit::{emit_openmp, emit_schedule_json};
 pub use hits::{AllMissModel, CmeModel, HitModel, MeasuredRates, OracleModel};
-pub use inspector::{Inspector, InspectorCostModel, InspectorReport};
-pub use placement::{place_in_regions, PlacementPolicy};
+pub use inspector::{Inspector, InspectorCostModel, InspectorReport, RetryPolicy};
+pub use placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 pub use platform::{LlcOrg, Platform};
 pub use vectors::{AffinityVec, EtaMetric, Mac, MacPolicy, Cac, CacPolicy};

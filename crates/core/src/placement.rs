@@ -5,7 +5,7 @@
 //! reports that letting the OS pick (we model it as least-loaded-first) is
 //! ~2 % better, and round-robin is the obvious third option.
 
-use locmap_noc::{NodeId, RegionGrid, RegionId};
+use locmap_noc::{LocmapError, NodeId, RegionGrid, RegionId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -45,8 +45,42 @@ pub fn place_in_regions(
     regions: &RegionGrid,
     policy: PlacementPolicy,
 ) -> Vec<NodeId> {
+    place_on_cores(assignment, regions, policy, None)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Degraded-mode placement: like [`place_in_regions`], but only cores whose
+/// `alive` flag (indexed by [`NodeId::index`]) is true may receive work.
+///
+/// Returns [`LocmapError::EmptyRegion`] if any set is assigned to a region
+/// with no surviving core — callers are expected to have evacuated such
+/// regions during balancing.
+pub fn place_in_regions_masked(
+    assignment: &[RegionId],
+    regions: &RegionGrid,
+    policy: PlacementPolicy,
+    alive: &[bool],
+) -> Result<Vec<NodeId>, LocmapError> {
+    place_on_cores(assignment, regions, policy, Some(alive))
+}
+
+fn place_on_cores(
+    assignment: &[RegionId],
+    regions: &RegionGrid,
+    policy: PlacementPolicy,
+    alive: Option<&[bool]>,
+) -> Result<Vec<NodeId>, LocmapError> {
     let nregions = regions.region_count();
-    let cores: Vec<Vec<NodeId>> = regions.regions().map(|r| regions.nodes_in(r)).collect();
+    let cores: Vec<Vec<NodeId>> = regions
+        .regions()
+        .map(|r| {
+            let mut nodes = regions.nodes_in(r);
+            if let Some(alive) = alive {
+                nodes.retain(|n| alive[n.index()]);
+            }
+            nodes
+        })
+        .collect();
     let mut loads: Vec<Vec<usize>> = cores.iter().map(|c| vec![0usize; c.len()]).collect();
     let mut rr_next = vec![0usize; nregions];
     let mut rng = match policy {
@@ -59,7 +93,9 @@ pub fn place_in_regions(
         .map(|&r| {
             let ri = r.index();
             let region_cores = &cores[ri];
-            assert!(!region_cores.is_empty(), "region {r} has no cores");
+            if region_cores.is_empty() {
+                return Err(LocmapError::EmptyRegion(ri));
+            }
             let l = &mut loads[ri];
             let idx = match policy {
                 PlacementPolicy::Random { .. } => {
@@ -82,7 +118,7 @@ pub fn place_in_regions(
                 }
             };
             l[idx] += 1;
-            region_cores[idx]
+            Ok(region_cores[idx])
         })
         .collect()
 }
@@ -167,9 +203,58 @@ mod tests {
     }
 
     #[test]
+    fn masked_placement_avoids_dead_cores() {
+        let g = grid();
+        let mut alive = vec![true; 36];
+        // Kill the first two cores of R1 (top-left region).
+        let r1 = g.nodes_in(RegionId(0));
+        alive[r1[0].index()] = false;
+        alive[r1[1].index()] = false;
+        let assignment = vec![RegionId(0); 12];
+        for policy in [
+            PlacementPolicy::Random { seed: 3 },
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+        ] {
+            let placement = place_in_regions_masked(&assignment, &g, policy, &alive).unwrap();
+            for &core in &placement {
+                assert!(alive[core.index()], "{policy:?} placed work on dead core {core:?}");
+                assert_eq!(g.region_of(core), RegionId(0));
+            }
+            // The two survivors split the 12 sets evenly.
+            let mut loads = loads_of(&placement, &g, RegionId(0));
+            loads.sort_unstable();
+            assert_eq!(loads, vec![0, 0, 6, 6], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn masked_placement_rejects_fully_dead_region() {
+        let g = grid();
+        let mut alive = vec![true; 36];
+        for n in g.nodes_in(RegionId(0)) {
+            alive[n.index()] = false;
+        }
+        let assignment = vec![RegionId(0); 4];
+        let err = place_in_regions_masked(&assignment, &g, PlacementPolicy::default(), &alive)
+            .unwrap_err();
+        assert!(err.to_string().contains("R1"), "{err}");
+    }
+
+    #[test]
+    fn masked_all_alive_matches_unmasked() {
+        let g = grid();
+        let assignment: Vec<RegionId> = (0..45).map(|i| RegionId(i % 9)).collect();
+        let policy = PlacementPolicy::Random { seed: 9 };
+        let p1 = place_in_regions(&assignment, &g, policy);
+        let p2 = place_in_regions_masked(&assignment, &g, policy, &[true; 36]).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
     fn single_core_regions_trivial() {
         let g = RegionGrid::new(Mesh::new(6, 6), 6, 6);
-        let assignment: Vec<RegionId> = (0..36).map(|i| RegionId(i)).collect();
+        let assignment: Vec<RegionId> = (0..36).map(RegionId).collect();
         let placement = place_in_regions(&assignment, &g, PlacementPolicy::default());
         for (s, &core) in placement.iter().enumerate() {
             assert_eq!(core.index(), g.nodes_in(assignment[s])[0].index());

@@ -2,7 +2,7 @@
 //! platform-derived MAC and CAC vectors.
 
 use crate::platform::Platform;
-use locmap_noc::RegionId;
+use locmap_noc::{FaultState, LocmapError, RegionId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -119,20 +119,15 @@ pub enum EtaMetric {
 }
 
 /// How MAC weights are derived from region↔MC distances.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum MacPolicy {
     /// Equal weight over the set of *nearest* MCs (ties split evenly) —
     /// reproduces Figure 6a exactly on the default platform.
+    #[default]
     NearestSet,
     /// Weight proportional to `1 / (distance + 1)` — the "finer-granular"
     /// alternative from the paper's §3.9 discussion.
     InverseDistance,
-}
-
-impl Default for MacPolicy {
-    fn default() -> Self {
-        MacPolicy::NearestSet
-    }
 }
 
 /// The per-region memory-affinity-of-cores vectors (Figure 6a).
@@ -144,7 +139,36 @@ pub struct Mac {
 impl Mac {
     /// Computes MAC for every region of `platform` under `policy`.
     pub fn compute(platform: &Platform, policy: MacPolicy) -> Self {
+        let alive = vec![true; platform.mc_count()];
+        Self::compute_masked(platform, policy, &alive)
+            .expect("all-alive MAC computation cannot fail")
+    }
+
+    /// Computes MAC over the *surviving* memory controllers of a degraded
+    /// machine: dead MCs get zero weight and the nearest-set / inverse-
+    /// distance shares are taken over the alive set only, so η comparisons
+    /// steer iteration sets towards regions close to controllers that can
+    /// still serve them. Pass the *effective* fault state
+    /// ([`FaultState::effective`]) so MCs on dead routers count as dead.
+    pub fn compute_degraded(
+        platform: &Platform,
+        policy: MacPolicy,
+        state: &FaultState,
+    ) -> Result<Self, LocmapError> {
+        let alive: Vec<bool> = (0..platform.mc_count()).map(|k| state.mc_alive(k)).collect();
+        Self::compute_masked(platform, policy, &alive)
+    }
+
+    fn compute_masked(
+        platform: &Platform,
+        policy: MacPolicy,
+        alive: &[bool],
+    ) -> Result<Self, LocmapError> {
         let m = platform.mc_count();
+        assert_eq!(alive.len(), m, "alive mask length must match MC count");
+        if !alive.iter().any(|&a| a) {
+            return Err(LocmapError::FaultConflict("all memory controllers dead".into()));
+        }
         let vectors = platform
             .regions
             .regions()
@@ -158,11 +182,16 @@ impl Mac {
                 let mut w = vec![0.0; m];
                 match policy {
                     MacPolicy::NearestSet => {
-                        let dmin = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let dmin = dists
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| alive[k])
+                            .map(|(_, &d)| d)
+                            .fold(f64::INFINITY, f64::min);
                         let nearest: Vec<usize> = dists
                             .iter()
                             .enumerate()
-                            .filter(|(_, &d)| d <= dmin + 1e-6)
+                            .filter(|&(k, &d)| alive[k] && d <= dmin + 1e-6)
                             .map(|(k, _)| k)
                             .collect();
                         let share = 1.0 / nearest.len() as f64;
@@ -171,7 +200,11 @@ impl Mac {
                         }
                     }
                     MacPolicy::InverseDistance => {
-                        let raw: Vec<f64> = dists.iter().map(|d| 1.0 / (d + 1.0)).collect();
+                        let raw: Vec<f64> = dists
+                            .iter()
+                            .enumerate()
+                            .map(|(k, d)| if alive[k] { 1.0 / (d + 1.0) } else { 0.0 })
+                            .collect();
                         let total: f64 = raw.iter().sum();
                         for (k, r) in raw.into_iter().enumerate() {
                             w[k] = r / total;
@@ -181,7 +214,7 @@ impl Mac {
                 AffinityVec(w)
             })
             .collect();
-        Mac { vectors }
+        Ok(Mac { vectors })
     }
 
     /// The MAC vector of region `r`.
@@ -253,6 +286,73 @@ impl Cac {
     /// All CAC vectors, region order.
     pub fn vectors(&self) -> &[AffinityVec] {
         &self.vectors
+    }
+
+    /// Computes CAC over the *surviving* LLC banks of a degraded machine:
+    /// each target region's weight is scaled by the fraction of its banks
+    /// still alive (a region that lost half its banks caches half as much
+    /// nearby data) and the row is renormalized. A region whose banks all
+    /// died gets zero weight; if that empties a row, the row's weight
+    /// moves to the nearest region (by centroid) that still has banks.
+    /// Pass the *effective* fault state so banks on dead routers count as
+    /// dead.
+    pub fn compute_degraded(
+        platform: &Platform,
+        policy: CacPolicy,
+        state: &FaultState,
+    ) -> Result<Self, LocmapError> {
+        let base = Self::compute(platform, policy);
+        let regions = &platform.regions;
+        let n = platform.region_count();
+        let alive_frac: Vec<f64> = regions
+            .regions()
+            .map(|r| {
+                let nodes = regions.nodes_in(r);
+                let alive = nodes.iter().filter(|&&node| state.bank_alive(node)).count();
+                alive as f64 / nodes.len() as f64
+            })
+            .collect();
+        if alive_frac.iter().all(|&f| f == 0.0) {
+            return Err(LocmapError::FaultConflict("all LLC banks dead".into()));
+        }
+        if alive_frac.iter().all(|&f| f == 1.0) {
+            // No bank faults: return the base table bit-for-bit so a clean
+            // degraded compiler reproduces the fault-free mapping exactly
+            // (renormalizing by a mass of ~1.0 would inject FP noise).
+            return Ok(base);
+        }
+        let vectors = regions
+            .regions()
+            .map(|r| {
+                let mut w: Vec<f64> =
+                    base.of(r).0.iter().zip(&alive_frac).map(|(x, f)| x * f).collect();
+                let mass: f64 = w.iter().sum();
+                if mass > 0.0 {
+                    w.iter_mut().for_each(|x| *x /= mass);
+                } else {
+                    // Everything this region would cache into is dead: fall
+                    // back to the nearest region with surviving banks.
+                    let (cx, cy) = regions.centroid(r);
+                    let mut best = 0usize;
+                    let mut best_dist = f64::INFINITY;
+                    for q in regions.regions() {
+                        if alive_frac[q.index()] == 0.0 {
+                            continue;
+                        }
+                        let (qx, qy) = regions.centroid(q);
+                        let d = (cx - qx).abs() + (cy - qy).abs();
+                        if d < best_dist {
+                            best_dist = d;
+                            best = q.index();
+                        }
+                    }
+                    w = vec![0.0; n];
+                    w[best] = 1.0;
+                }
+                AffinityVec(w)
+            })
+            .collect();
+        Ok(Cac { vectors })
     }
 }
 
@@ -398,6 +498,59 @@ mod tests {
     #[should_panic]
     fn eta_length_mismatch_panics() {
         AffinityVec(vec![1.0]).eta(&AffinityVec(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn degraded_mac_excludes_dead_mcs() {
+        use locmap_noc::FaultPlan;
+        let p = Platform::paper_default();
+        let state = FaultPlan::new(p.mesh, p.mc_count()).dead_mc(0).state_at(0);
+        let mac = Mac::compute_degraded(&p, MacPolicy::NearestSet, &state).unwrap();
+        for r in 0..9 {
+            assert!(close(mac.of(RegionId(r)).0[0], 0.0), "R{} weights dead MC0", r + 1);
+            assert!(close(mac.of(RegionId(r)).mass(), 1.0));
+        }
+        // R1 (top-left) now leans on the two adjacent corners MC2/MC4.
+        let r1 = mac.of(RegionId(0));
+        assert!(close(r1.0[1], 0.5) && close(r1.0[3], 0.5), "{r1}");
+        // A clean state reproduces the nominal MAC.
+        let clean = FaultPlan::new(p.mesh, p.mc_count()).state_at(0);
+        assert_eq!(
+            Mac::compute_degraded(&p, MacPolicy::NearestSet, &clean).unwrap().vectors(),
+            Mac::compute(&p, MacPolicy::NearestSet).vectors()
+        );
+    }
+
+    #[test]
+    fn degraded_mac_errors_when_no_mc_survives() {
+        use locmap_noc::FaultState;
+        let p = Platform::paper_default();
+        let mut state = FaultState::none(p.mesh, p.mc_count());
+        for node in p.mesh.nodes() {
+            state.kill_router(node);
+        }
+        let state = state.effective(&p.mc_coords);
+        assert!(Mac::compute_degraded(&p, MacPolicy::NearestSet, &state).is_err());
+    }
+
+    #[test]
+    fn degraded_cac_shifts_weight_off_dead_banks() {
+        use locmap_noc::FaultPlan;
+        let p = Platform::paper_default();
+        // Kill every bank in R1 (nodes (0,0),(1,0),(0,1),(1,1)).
+        let mut plan = FaultPlan::new(p.mesh, p.mc_count());
+        for (x, y) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            plan = plan.dead_bank(p.mesh.node_at(x, y));
+        }
+        let cac = Cac::compute_degraded(&p, CacPolicy::default(), &plan.state_at(0)).unwrap();
+        for r in 0..9 {
+            let v = cac.of(RegionId(r));
+            assert!(close(v.0[0], 0.0), "R{} still caches into dead R1: {v}", r + 1);
+            assert!(close(v.mass(), 1.0), "R{} mass {}", r + 1, v.mass());
+        }
+        // R1's own row folds entirely into surviving neighbors.
+        let r1 = cac.of(RegionId(0));
+        assert!(r1.0[1] > 0.0 && r1.0[3] > 0.0);
     }
 
     #[test]

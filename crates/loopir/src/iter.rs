@@ -45,11 +45,7 @@ impl IterationSpace {
 
     /// Number of iterations.
     pub fn len(&self) -> usize {
-        if self.depth == 0 {
-            0
-        } else {
-            self.flat.len() / self.depth
-        }
+        self.flat.len().checked_div(self.depth).unwrap_or(0)
     }
 
     /// True when the space is empty.

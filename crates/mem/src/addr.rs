@@ -124,8 +124,8 @@ impl AddrMap {
         assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(cfg.page_bytes >= cfg.line_bytes, "page smaller than line");
         if cfg.cluster.is_some() {
-            assert!(cfg.mc_count % 4 == 0, "cluster modes assume 4 quadrants of MCs");
-            assert!(cfg.llc_banks % 4 == 0, "cluster modes assume 4 quadrants of banks");
+            assert!(cfg.mc_count.is_multiple_of(4), "cluster modes assume 4 quadrants of MCs");
+            assert!(cfg.llc_banks.is_multiple_of(4), "cluster modes assume 4 quadrants of banks");
         }
         AddrMap { cfg }
     }
@@ -306,8 +306,8 @@ mod tests {
             ..AddrMapConfig::paper_default(36)
         };
         let m = AddrMap::new(cfg);
-        let mut bank_seen = vec![false; 36];
-        let mut mc_seen = vec![false; 4];
+        let mut bank_seen = [false; 36];
+        let mut mc_seen = [false; 4];
         for l in 0..4096u64 {
             bank_seen[m.llc_bank_of(PhysAddr(l * 64)) as usize] = true;
             mc_seen[m.mc_of(PhysAddr(l * 2048)).index()] = true;

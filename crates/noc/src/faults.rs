@@ -1,0 +1,718 @@
+//! Fault injection: dead links, dead routers, offline memory controllers
+//! and LLC banks, with deterministic seed-driven injection schedules.
+//!
+//! A [`FaultPlan`] is a declarative list of [`FaultEvent`]s — *component X
+//! dies at cycle N, optionally repaired at cycle M*. Evaluating the plan
+//! at a cycle yields a [`FaultState`]: dense alive/dead bitmaps that the
+//! router ([`crate::route_faulty`]), the network ([`crate::Network`]) and
+//! the higher layers (simulator, degraded-mode mapper) all consume, so
+//! every layer sees the *same* picture of the machine.
+//!
+//! Link faults take out both directions of the physical channel (a dead
+//! wire, not a dead buffer). A dead router additionally kills every
+//! component attached to its node — the local LLC bank and any memory
+//! controller on that node — which [`FaultState::effective`] folds in.
+//!
+//! Everything here is deterministic: [`FaultPlan::random`] derives its
+//! choices from a caller-supplied seed, and redirect/nearest-survivor
+//! computations break ties by lowest index.
+
+use crate::error::LocmapError;
+use crate::routing::{link_target_torus, Direction, Link};
+use crate::topology::{Coord, Mesh, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A hardware component that can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultComponent {
+    /// A physical mesh channel (both directions die together).
+    Link(Link),
+    /// A router, together with the core, LLC bank and any MC at its node.
+    Router(NodeId),
+    /// A memory controller, by MC index.
+    Mc(usize),
+    /// The LLC bank at a node (the node's core and router survive).
+    Bank(NodeId),
+}
+
+impl fmt::Display for FaultComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultComponent::Link(l) => write!(f, "link {}:{:?}", l.from, l.dir),
+            FaultComponent::Router(n) => write!(f, "router {n}"),
+            FaultComponent::Mc(k) => write!(f, "MC{k}"),
+            FaultComponent::Bank(n) => write!(f, "bank {n}"),
+        }
+    }
+}
+
+/// One scheduled failure: `component` dies at `inject_at` and, if
+/// `repair_at` is set, comes back at that cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The component that fails.
+    pub component: FaultComponent,
+    /// Cycle at which the component goes offline.
+    pub inject_at: u64,
+    /// Cycle at which the component comes back, or `None` for permanent.
+    pub repair_at: Option<u64>,
+}
+
+/// Requested component counts for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Number of physical channels to kill.
+    pub links: usize,
+    /// Number of routers to kill.
+    pub routers: usize,
+    /// Number of memory controllers to kill (clamped to leave one alive).
+    pub mcs: usize,
+    /// Number of LLC banks to kill (clamped to leave one alive).
+    pub banks: usize,
+}
+
+impl FaultCounts {
+    /// True when no faults are requested.
+    pub fn is_empty(&self) -> bool {
+        self.links == 0 && self.routers == 0 && self.mcs == 0 && self.banks == 0
+    }
+}
+
+/// A deterministic, seed-reproducible schedule of component failures on
+/// one mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    mesh: Mesh,
+    mc_count: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan for a machine with `mesh` and `mc_count` controllers.
+    pub fn new(mesh: Mesh, mc_count: usize) -> Self {
+        FaultPlan { mesh, mc_count, events: Vec::new() }
+    }
+
+    /// The mesh this plan applies to.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of memory controllers on the machine.
+    pub fn mc_count(&self) -> usize {
+        self.mc_count
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Adds an arbitrary event.
+    pub fn push(&mut self, event: FaultEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Schedules a permanent link failure from cycle 0.
+    pub fn dead_link(mut self, link: Link) -> Self {
+        self.events.push(FaultEvent { component: FaultComponent::Link(link), inject_at: 0, repair_at: None });
+        self
+    }
+
+    /// Schedules a permanent router failure from cycle 0.
+    pub fn dead_router(mut self, node: NodeId) -> Self {
+        self.events.push(FaultEvent { component: FaultComponent::Router(node), inject_at: 0, repair_at: None });
+        self
+    }
+
+    /// Schedules a permanent memory-controller failure from cycle 0.
+    pub fn dead_mc(mut self, mc: usize) -> Self {
+        self.events.push(FaultEvent { component: FaultComponent::Mc(mc), inject_at: 0, repair_at: None });
+        self
+    }
+
+    /// Schedules a permanent LLC-bank failure from cycle 0.
+    pub fn dead_bank(mut self, node: NodeId) -> Self {
+        self.events.push(FaultEvent { component: FaultComponent::Bank(node), inject_at: 0, repair_at: None });
+        self
+    }
+
+    /// Draws a random plan with the requested component counts, fully
+    /// determined by `seed`. Links are drawn from interior channels only
+    /// (channels that exist on a mesh); MC and bank counts are clamped so
+    /// at least one of each survives. All faults inject at cycle 0 and
+    /// are permanent — schedule repairs by editing [`Self::push`].
+    pub fn random(seed: u64, mesh: Mesh, mc_count: usize, counts: FaultCounts) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(mesh, mc_count);
+        let n = mesh.node_count();
+
+        let mut links: Vec<Link> = Vec::new();
+        while links.len() < counts.links.min(n * 2) {
+            let from = NodeId(rng.gen_range(0..n as u16));
+            let dir = match rng.gen_range(0..4u8) {
+                0 => Direction::East,
+                1 => Direction::West,
+                2 => Direction::North,
+                _ => Direction::South,
+            };
+            let link = Link { from, dir };
+            if !link_exists(mesh, link) {
+                continue;
+            }
+            // A channel and its reverse are the same physical wire.
+            let rev = reverse_link(mesh, link);
+            if links.iter().any(|&l| l == link || l == rev) {
+                continue;
+            }
+            links.push(link);
+        }
+        for link in links {
+            plan = plan.dead_link(link);
+        }
+
+        let mut routers: Vec<NodeId> = Vec::new();
+        while routers.len() < counts.routers.min(n.saturating_sub(1)) {
+            let node = NodeId(rng.gen_range(0..n as u16));
+            if !routers.contains(&node) {
+                routers.push(node);
+            }
+        }
+        for node in routers {
+            plan = plan.dead_router(node);
+        }
+
+        let mut mcs: Vec<usize> = Vec::new();
+        while mcs.len() < counts.mcs.min(mc_count.saturating_sub(1)) {
+            let mc = rng.gen_range(0..mc_count);
+            if !mcs.contains(&mc) {
+                mcs.push(mc);
+            }
+        }
+        for mc in mcs {
+            plan = plan.dead_mc(mc);
+        }
+
+        let mut banks: Vec<NodeId> = Vec::new();
+        while banks.len() < counts.banks.min(n.saturating_sub(1)) {
+            let node = NodeId(rng.gen_range(0..n as u16));
+            if !banks.contains(&node) {
+                banks.push(node);
+            }
+        }
+        for node in banks {
+            plan = plan.dead_bank(node);
+        }
+        plan
+    }
+
+    /// Checks the plan for internal consistency: components in range,
+    /// repairs after injections, no component scheduled twice, and at
+    /// least one memory controller alive in the permanent state.
+    pub fn validate(&self) -> Result<(), LocmapError> {
+        let n = self.mesh.node_count();
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev.component {
+                FaultComponent::Link(l) => {
+                    if l.from.index() >= n {
+                        return Err(LocmapError::FaultConflict(format!(
+                            "event {i}: link source {} outside {}",
+                            l.from, self.mesh
+                        )));
+                    }
+                }
+                FaultComponent::Router(node) | FaultComponent::Bank(node) => {
+                    if node.index() >= n {
+                        return Err(LocmapError::FaultConflict(format!(
+                            "event {i}: node {node} outside {}",
+                            self.mesh
+                        )));
+                    }
+                }
+                FaultComponent::Mc(k) => {
+                    if k >= self.mc_count {
+                        return Err(LocmapError::FaultConflict(format!(
+                            "event {i}: MC{k} out of range (machine has {} MCs)",
+                            self.mc_count
+                        )));
+                    }
+                }
+            }
+            if let Some(r) = ev.repair_at {
+                if r <= ev.inject_at {
+                    return Err(LocmapError::FaultConflict(format!(
+                        "event {i} ({}): repair at {r} not after injection at {}",
+                        ev.component, ev.inject_at
+                    )));
+                }
+            }
+            for (j, other) in self.events.iter().enumerate().skip(i + 1) {
+                if ev.component == other.component {
+                    return Err(LocmapError::FaultConflict(format!(
+                        "events {i} and {j} both schedule {}",
+                        ev.component
+                    )));
+                }
+            }
+        }
+        let permanent_dead_mcs = self
+            .events
+            .iter()
+            .filter(|e| e.repair_at.is_none() && matches!(e.component, FaultComponent::Mc(_)))
+            .count();
+        if self.mc_count > 0 && permanent_dead_mcs >= self.mc_count {
+            return Err(LocmapError::FaultConflict(
+                "all memory controllers permanently dead".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The fault state in effect at `cycle`: every event with
+    /// `inject_at <= cycle` and no repair at or before `cycle` is active.
+    pub fn state_at(&self, cycle: u64) -> FaultState {
+        let mut state = FaultState::none(self.mesh, self.mc_count);
+        for ev in &self.events {
+            let active = ev.inject_at <= cycle && ev.repair_at.is_none_or(|r| r > cycle);
+            if !active {
+                continue;
+            }
+            match ev.component {
+                FaultComponent::Link(l) => {
+                    state.dead_link[l.index()] = true;
+                    state.dead_link[reverse_link(self.mesh, l).index()] = true;
+                }
+                FaultComponent::Router(node) => state.dead_router[node.index()] = true,
+                FaultComponent::Mc(k) => state.dead_mc[k] = true,
+                FaultComponent::Bank(node) => state.dead_bank[node.index()] = true,
+            }
+        }
+        state
+    }
+
+    /// The state once every scheduled repair has happened (the permanent
+    /// faults only).
+    pub fn final_state(&self) -> FaultState {
+        self.state_at(u64::MAX)
+    }
+
+    /// All cycles at which the fault state changes (injections and
+    /// repairs), sorted and deduplicated. Harnesses re-evaluate the plan
+    /// at these boundaries.
+    pub fn change_cycles(&self) -> Vec<u64> {
+        let mut cycles: Vec<u64> = self
+            .events
+            .iter()
+            .flat_map(|e| [Some(e.inject_at), e.repair_at])
+            .flatten()
+            .collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        cycles
+    }
+
+    /// One-line human-readable description of the plan.
+    pub fn summary(&self) -> String {
+        let mut links = 0;
+        let mut routers = 0;
+        let mut mcs = Vec::new();
+        let mut banks = 0;
+        for ev in &self.events {
+            match ev.component {
+                FaultComponent::Link(_) => links += 1,
+                FaultComponent::Router(_) => routers += 1,
+                FaultComponent::Mc(k) => mcs.push(k),
+                FaultComponent::Bank(_) => banks += 1,
+            }
+        }
+        let mc_list = if mcs.is_empty() {
+            "none".to_string()
+        } else {
+            mcs.iter().map(|k| format!("MC{k}")).collect::<Vec<_>>().join(",")
+        };
+        format!("{links} link(s), {routers} router(s), {banks} bank(s), dead MCs: {mc_list}")
+    }
+}
+
+/// True when `link` corresponds to a physical mesh channel (its target
+/// stays in bounds without wrapping).
+pub fn link_exists(mesh: Mesh, link: Link) -> bool {
+    let c = mesh.coord_of(link.from);
+    match link.dir {
+        Direction::East => c.x + 1 < mesh.width(),
+        Direction::West => c.x > 0,
+        Direction::North => c.y > 0,
+        Direction::South => c.y + 1 < mesh.height(),
+    }
+}
+
+/// The opposite direction of travel.
+pub fn opposite(dir: Direction) -> Direction {
+    match dir {
+        Direction::East => Direction::West,
+        Direction::West => Direction::East,
+        Direction::North => Direction::South,
+        Direction::South => Direction::North,
+    }
+}
+
+/// The reverse channel of `link` (wrap-aware, so torus edge links reverse
+/// correctly; for interior links this is the plain opposite link).
+pub fn reverse_link(mesh: Mesh, link: Link) -> Link {
+    let target = link_target_torus(mesh, link);
+    Link { from: mesh.node_at(target.x, target.y), dir: opposite(link.dir) }
+}
+
+/// Dense alive/dead bitmaps for every component at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultState {
+    mesh: Mesh,
+    dead_link: Vec<bool>,
+    dead_router: Vec<bool>,
+    dead_mc: Vec<bool>,
+    dead_bank: Vec<bool>,
+}
+
+impl FaultState {
+    /// The all-alive state for a machine with `mesh` and `mc_count` MCs.
+    pub fn none(mesh: Mesh, mc_count: usize) -> Self {
+        let n = mesh.node_count();
+        FaultState {
+            mesh,
+            dead_link: vec![false; Link::slot_count(mesh)],
+            dead_router: vec![false; n],
+            dead_mc: vec![false; mc_count],
+            dead_bank: vec![false; n],
+        }
+    }
+
+    /// The mesh this state describes.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// True when no component is dead.
+    pub fn is_clean(&self) -> bool {
+        !self.dead_link.iter().any(|&d| d)
+            && !self.dead_router.iter().any(|&d| d)
+            && !self.dead_mc.iter().any(|&d| d)
+            && !self.dead_bank.iter().any(|&d| d)
+    }
+
+    /// True when the directed link carries traffic.
+    pub fn link_alive(&self, link: Link) -> bool {
+        !self.dead_link[link.index()]
+    }
+
+    /// True when the router (and hence the core) at `node` is alive.
+    pub fn router_alive(&self, node: NodeId) -> bool {
+        !self.dead_router[node.index()]
+    }
+
+    /// True when memory controller `mc` is serving requests.
+    pub fn mc_alive(&self, mc: usize) -> bool {
+        !self.dead_mc[mc]
+    }
+
+    /// True when the LLC bank at `node` holds data.
+    pub fn bank_alive(&self, node: NodeId) -> bool {
+        !self.dead_bank[node.index()]
+    }
+
+    /// Marks a router dead (used when folding derived faults).
+    pub fn kill_router(&mut self, node: NodeId) {
+        self.dead_router[node.index()] = true;
+    }
+
+    /// Counts of dead (links, routers, mcs, banks). Link faults count
+    /// physical channels, not directed slots.
+    pub fn dead_counts(&self) -> (usize, usize, usize, usize) {
+        let links = self.dead_link.iter().filter(|&&d| d).count() / 2;
+        let routers = self.dead_router.iter().filter(|&&d| d).count();
+        let mcs = self.dead_mc.iter().filter(|&&d| d).count();
+        let banks = self.dead_bank.iter().filter(|&&d| d).count();
+        (links, routers, mcs, banks)
+    }
+
+    /// The indices of alive memory controllers.
+    pub fn alive_mcs(&self) -> Vec<usize> {
+        (0..self.dead_mc.len()).filter(|&k| !self.dead_mc[k]).collect()
+    }
+
+    /// Folds in the faults a dead router *implies*: the LLC bank at that
+    /// node is unreachable forever, and any MC attached there (per
+    /// `mc_coords`) cannot serve requests. Every consumer — router,
+    /// simulator, degraded-mode mapper — should work from the effective
+    /// state so they agree on what survives.
+    pub fn effective(&self, mc_coords: &[Coord]) -> FaultState {
+        let mut eff = self.clone();
+        for node in self.mesh.nodes() {
+            if self.dead_router[node.index()] {
+                eff.dead_bank[node.index()] = true;
+                let c = self.mesh.coord_of(node);
+                for (k, &mc) in mc_coords.iter().enumerate() {
+                    if mc == c {
+                        eff.dead_mc[k] = true;
+                    }
+                }
+            }
+        }
+        eff
+    }
+
+    /// For each MC index, the alive MC that absorbs its traffic: itself
+    /// when alive, otherwise the nearest surviving controller by
+    /// Manhattan distance (ties to the lowest index). Errors when no
+    /// controller survives.
+    pub fn mc_redirects(&self, mc_coords: &[Coord]) -> Result<Vec<usize>, LocmapError> {
+        if self.dead_mc.iter().all(|&d| d) {
+            return Err(LocmapError::FaultConflict("all memory controllers dead".into()));
+        }
+        let mut redirects = Vec::with_capacity(mc_coords.len());
+        for (k, &c) in mc_coords.iter().enumerate() {
+            if self.mc_alive(k) {
+                redirects.push(k);
+                continue;
+            }
+            let mut best = usize::MAX;
+            let mut best_dist = u32::MAX;
+            for (j, &cj) in mc_coords.iter().enumerate() {
+                if !self.mc_alive(j) {
+                    continue;
+                }
+                let d = c.manhattan(cj);
+                if d < best_dist {
+                    best_dist = d;
+                    best = j;
+                }
+            }
+            redirects.push(best);
+        }
+        Ok(redirects)
+    }
+
+    /// For each node index, the alive LLC bank that homes its addresses:
+    /// the node's own bank when alive, otherwise the nearest surviving
+    /// bank (ties to the lowest node index). Errors when no bank survives.
+    pub fn bank_redirects(&self) -> Result<Vec<u16>, LocmapError> {
+        if self.dead_bank.iter().all(|&d| d) {
+            return Err(LocmapError::FaultConflict("all LLC banks dead".into()));
+        }
+        let mut redirects = Vec::with_capacity(self.mesh.node_count());
+        for node in self.mesh.nodes() {
+            if self.bank_alive(node) {
+                redirects.push(node.0);
+                continue;
+            }
+            let c = self.mesh.coord_of(node);
+            let mut best = u16::MAX;
+            let mut best_dist = u32::MAX;
+            for other in self.mesh.nodes() {
+                if !self.bank_alive(other) {
+                    continue;
+                }
+                let d = c.manhattan(self.mesh.coord_of(other));
+                if d < best_dist {
+                    best_dist = d;
+                    best = other.0;
+                }
+            }
+            redirects.push(best);
+        }
+        Ok(redirects)
+    }
+
+    /// Verifies that every alive router can exchange messages with every
+    /// other alive router over surviving links (strong connectivity of the
+    /// alive subgraph). `torus` selects wrap-around neighbor semantics.
+    pub fn check_connected(&self, torus: bool) -> Result<(), LocmapError> {
+        let n = self.mesh.node_count();
+        let root = match (0..n).find(|&i| !self.dead_router[i]) {
+            Some(i) => NodeId(i as u16),
+            None => return Err(LocmapError::FaultConflict("all routers dead".into())),
+        };
+        let forward = self.reach(root, torus, false);
+        let backward = self.reach(root, torus, true);
+        for i in 0..n {
+            if self.dead_router[i] {
+                continue;
+            }
+            if !forward[i] {
+                return Err(LocmapError::Unreachable { from: root, to: NodeId(i as u16) });
+            }
+            if !backward[i] {
+                return Err(LocmapError::Unreachable { from: NodeId(i as u16), to: root });
+            }
+        }
+        Ok(())
+    }
+
+    /// BFS reachability over the alive subgraph; `reverse` follows links
+    /// backwards (who can reach `root`).
+    fn reach(&self, root: NodeId, torus: bool, reverse: bool) -> Vec<bool> {
+        let n = self.mesh.node_count();
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for dir in [Direction::East, Direction::West, Direction::North, Direction::South] {
+                let out = Link { from: u, dir };
+                if !torus && !link_exists(self.mesh, out) {
+                    continue;
+                }
+                let tc = link_target_torus(self.mesh, out);
+                let v = self.mesh.node_at(tc.x, tc.y);
+                // Forward: traverse u->v. Reverse: traverse v->u, i.e. the
+                // link that *arrives* at u from v, which is reverse(out).
+                let travelled = if reverse { reverse_link(self.mesh, out) } else { out };
+                if !self.link_alive(travelled) || self.dead_router[v.index()] || seen[v.index()] {
+                    continue;
+                }
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(6, 6)
+    }
+
+    #[test]
+    fn empty_plan_is_clean_everywhere() {
+        let plan = FaultPlan::new(mesh(), 4);
+        assert!(plan.validate().is_ok());
+        assert!(plan.state_at(0).is_clean());
+        assert!(plan.final_state().is_clean());
+        assert!(plan.change_cycles().is_empty());
+    }
+
+    #[test]
+    fn link_fault_kills_both_directions() {
+        let m = mesh();
+        let link = Link { from: m.node_at(2, 2), dir: Direction::East };
+        let state = FaultPlan::new(m, 4).dead_link(link).state_at(0);
+        assert!(!state.link_alive(link));
+        assert!(!state.link_alive(Link { from: m.node_at(3, 2), dir: Direction::West }));
+        assert_eq!(state.dead_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn injection_and_repair_windows() {
+        let m = mesh();
+        let mut plan = FaultPlan::new(m, 4);
+        plan.push(FaultEvent {
+            component: FaultComponent::Mc(1),
+            inject_at: 100,
+            repair_at: Some(500),
+        });
+        assert!(plan.validate().is_ok());
+        assert!(plan.state_at(99).mc_alive(1));
+        assert!(!plan.state_at(100).mc_alive(1));
+        assert!(!plan.state_at(499).mc_alive(1));
+        assert!(plan.state_at(500).mc_alive(1));
+        assert!(plan.final_state().mc_alive(1));
+        assert_eq!(plan.change_cycles(), vec![100, 500]);
+    }
+
+    #[test]
+    fn validate_rejects_conflicts() {
+        let m = mesh();
+        // Repair before injection.
+        let mut plan = FaultPlan::new(m, 4);
+        plan.push(FaultEvent { component: FaultComponent::Mc(0), inject_at: 10, repair_at: Some(5) });
+        assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+        // Duplicate component.
+        let plan = FaultPlan::new(m, 4).dead_mc(1).dead_mc(1);
+        assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+        // All MCs dead.
+        let plan = FaultPlan::new(m, 2).dead_mc(0).dead_mc(1);
+        assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+        // Out-of-range MC.
+        let plan = FaultPlan::new(m, 4).dead_mc(9);
+        assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let counts = FaultCounts { links: 3, routers: 1, mcs: 2, banks: 2 };
+        let a = FaultPlan::random(7, mesh(), 4, counts);
+        let b = FaultPlan::random(7, mesh(), 4, counts);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, mesh(), 4, counts);
+        assert_ne!(a, c);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.final_state().dead_counts(), (3, 1, 2, 2));
+    }
+
+    #[test]
+    fn random_clamps_to_leave_survivors() {
+        let plan = FaultPlan::random(1, mesh(), 4, FaultCounts { mcs: 99, ..Default::default() });
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.final_state().alive_mcs().len(), 1);
+    }
+
+    #[test]
+    fn effective_state_folds_router_deaths() {
+        let m = mesh();
+        let node = m.node_at(0, 0);
+        let mc_coords = vec![Coord::new(0, 0), Coord::new(5, 5)];
+        let state = FaultPlan::new(m, 2).dead_router(node).state_at(0);
+        assert!(state.mc_alive(0), "raw state leaves the MC nominally alive");
+        let eff = state.effective(&mc_coords);
+        assert!(!eff.mc_alive(0), "MC at the dead router must be dead");
+        assert!(!eff.bank_alive(node), "bank at the dead router must be dead");
+        assert!(eff.mc_alive(1));
+    }
+
+    #[test]
+    fn mc_redirects_pick_nearest_survivor() {
+        let m = mesh();
+        let mc_coords =
+            vec![Coord::new(0, 0), Coord::new(5, 0), Coord::new(0, 5), Coord::new(5, 5)];
+        let state = FaultPlan::new(m, 4).dead_mc(0).state_at(0);
+        let r = state.mc_redirects(&mc_coords).unwrap();
+        // MC0 at (0,0): MC1 and MC2 are both 5 hops away; tie goes low.
+        assert_eq!(r, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bank_redirects_pick_nearest_survivor() {
+        let m = mesh();
+        let node = m.node_at(0, 0);
+        let state = FaultPlan::new(m, 4).dead_bank(node).state_at(0);
+        let r = state.bank_redirects().unwrap();
+        // Nearest alive banks to (0,0) are n1 (east) and n6 (south); tie low.
+        assert_eq!(r[0], 1);
+        assert_eq!(r[1], 1);
+    }
+
+    #[test]
+    fn connectivity_detects_partitions() {
+        let m = Mesh::new(2, 1);
+        let cut = Link { from: m.node_at(0, 0), dir: Direction::East };
+        let state = FaultPlan::new(m, 1).dead_link(cut).state_at(0);
+        assert!(matches!(state.check_connected(false), Err(LocmapError::Unreachable { .. })));
+        assert!(FaultState::none(m, 1).check_connected(false).is_ok());
+        assert!(FaultState::none(mesh(), 4).check_connected(true).is_ok());
+    }
+
+    #[test]
+    fn connectivity_ignores_dead_routers() {
+        // Killing a corner router disconnects nothing else.
+        let m = mesh();
+        let state = FaultPlan::new(m, 4).dead_router(m.node_at(0, 0)).state_at(0);
+        assert!(state.check_connected(false).is_ok());
+    }
+}

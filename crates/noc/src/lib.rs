@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod error;
+mod faults;
 mod mc;
 mod network;
 mod packet;
@@ -38,10 +40,18 @@ mod routing;
 mod stats;
 mod topology;
 
+pub use error::{LocmapError, RouteError};
+pub use faults::{
+    link_exists, opposite, reverse_link, FaultComponent, FaultCounts, FaultEvent, FaultPlan,
+    FaultState,
+};
 pub use mc::{McId, McPlacement};
 pub use network::{Network, NocConfig, TopologyKind};
 pub use packet::{MessageKind, FLIT_BYTES};
 pub use regions::{RegionGrid, RegionId};
-pub use routing::{link_target, link_target_torus, route_xy, route_xy_torus, Direction, Link};
+pub use routing::{
+    link_target, link_target_torus, route_faulty, route_faulty_torus, route_xy, route_xy_torus,
+    Direction, Link,
+};
 pub use stats::NetworkStats;
 pub use topology::{Coord, Mesh, NodeId};

@@ -27,12 +27,13 @@ impl fmt::Display for McId {
 }
 
 /// Where the (four) memory controllers attach to the mesh.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum McPlacement {
     /// One MC at each corner of the chip — the paper's default
     /// (MC1 top-right, MC2 bottom-right, MC3 top-left, MC4 bottom-left,
     /// mirroring Figure 3's labeling is unnecessary; we use a deterministic
     /// clockwise-from-top-left order).
+    #[default]
     Corners,
     /// One MC at the midpoint of each side — the alternate placement of the
     /// Figure 9 sensitivity experiment.
@@ -72,12 +73,6 @@ impl McPlacement {
             McPlacement::Corners | McPlacement::EdgeMidpoints => 4,
             McPlacement::Custom(coords) => coords.len(),
         }
-    }
-}
-
-impl Default for McPlacement {
-    fn default() -> Self {
-        McPlacement::Corners
     }
 }
 

@@ -17,8 +17,10 @@
 //! *distance* (every hop costs `router_delay + 1` cycles) and *contention*
 //! (links serialize flit trains, so long routes through busy areas queue).
 
+use crate::error::RouteError;
+use crate::faults::FaultState;
 use crate::packet::MessageKind;
-use crate::routing::{route_xy, route_xy_torus, Link};
+use crate::routing::{route_faulty, route_faulty_torus, route_xy, route_xy_torus, Link};
 use crate::stats::NetworkStats;
 use crate::topology::{Mesh, NodeId};
 use serde::{Deserialize, Serialize};
@@ -155,6 +157,8 @@ pub struct Network {
     /// Cumulative cycles each link has spent carrying flits.
     link_busy: Vec<u64>,
     stats: NetworkStats,
+    /// Active fault state; `None` routes on the intact machine.
+    faults: Option<FaultState>,
 }
 
 impl Network {
@@ -166,7 +170,25 @@ impl Network {
             links: vec![LinkSched::default(); Link::slot_count(mesh)],
             link_busy: vec![0; Link::slot_count(mesh)],
             stats: NetworkStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) the fault state messages must route around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state describes a different mesh.
+    pub fn set_faults(&mut self, faults: Option<FaultState>) {
+        if let Some(f) = &faults {
+            assert_eq!(f.mesh(), self.mesh, "fault state describes a different mesh");
+        }
+        self.faults = faults;
+    }
+
+    /// The active fault state, if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The mesh this network spans.
@@ -185,20 +207,47 @@ impl Network {
     ///
     /// A message to the local node (`src == dst`) bypasses the network and
     /// is delivered at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active fault state leaves `dst` unreachable from `src`
+    /// — callers running under faults must pre-validate connectivity (see
+    /// [`FaultState::check_connected`]) or use [`Self::try_send`].
     pub fn send(&mut self, now: u64, src: NodeId, dst: NodeId, kind: MessageKind) -> u64 {
+        self.try_send(now, src, dst, kind)
+            .unwrap_or_else(|e| panic!("unvalidated fault state: {e}"))
+    }
+
+    /// Fallible variant of [`Self::send`]: returns
+    /// [`RouteError::Unreachable`] instead of delivering to a wrong node
+    /// (or panicking) when the active fault state disconnects the pair.
+    pub fn try_send(
+        &mut self,
+        now: u64,
+        src: NodeId,
+        dst: NodeId,
+        kind: MessageKind,
+    ) -> Result<u64, RouteError> {
+        if let Some(f) = &self.faults {
+            if !f.router_alive(src) || !f.router_alive(dst) {
+                return Err(RouteError::Unreachable { from: src, to: dst });
+            }
+        }
         if self.cfg.ideal || src == dst {
             // Local or ideal: deliver instantly, still count the message so
             // traffic volumes remain comparable across modes.
             self.stats.messages += 1;
             self.stats.total_flits += kind.flits() as u64;
-            return now;
+            return Ok(now);
         }
 
         let flits = kind.flits() as u64;
         let dur = flits * self.cfg.link_traversal;
-        let route = match self.cfg.topology {
-            TopologyKind::Mesh => route_xy(self.mesh, src, dst),
-            TopologyKind::Torus => route_xy_torus(self.mesh, src, dst),
+        let route = match (&self.faults, self.cfg.topology) {
+            (None, TopologyKind::Mesh) => route_xy(self.mesh, src, dst),
+            (None, TopologyKind::Torus) => route_xy_torus(self.mesh, src, dst),
+            (Some(f), TopologyKind::Mesh) => route_faulty(self.mesh, src, dst, f)?,
+            (Some(f), TopologyKind::Torus) => route_faulty_torus(self.mesh, src, dst, f)?,
         };
         let hops = route.len() as u64;
 
@@ -222,7 +271,7 @@ impl Network {
         self.stats.total_queue_cycles += queue_cycles;
         self.stats.total_flits += flits;
         self.stats.max_latency = self.stats.max_latency.max(latency);
-        arrival
+        Ok(arrival)
     }
 
     /// The latency this message would experience on an empty network
@@ -352,7 +401,7 @@ mod tests {
         // it must NOT queue behind the future train.
         net.send(10_000, src, dst, MessageKind::llc_response64());
         let early = net.send(0, src, dst, MessageKind::llc_response64());
-        assert_eq!(early - 0, net.zero_load_latency(src, dst, MessageKind::llc_response64()));
+        assert_eq!(early, net.zero_load_latency(src, dst, MessageKind::llc_response64()));
     }
 
     #[test]
@@ -362,7 +411,7 @@ mod tests {
         let a = net.send(0, m.node_at(0, 0), m.node_at(3, 0), MessageKind::llc_response64());
         // Different row: entirely disjoint links under X-Y routing.
         let b = net.send(0, m.node_at(0, 5), m.node_at(3, 5), MessageKind::llc_response64());
-        assert_eq!(a - 0, b - 0);
+        assert_eq!(a, b);
         assert_eq!(net.stats().total_queue_cycles, 0);
     }
 
@@ -376,7 +425,7 @@ mod tests {
         // Inject long after the first train has fully drained.
         let start = first + 100;
         let second = net.send(start, src, dst, MessageKind::llc_response64());
-        assert_eq!(second - start, first - 0);
+        assert_eq!(second - start, first);
     }
 
     #[test]
@@ -407,7 +456,6 @@ mod tests {
         // diverge: the latency of late waves stays within a small factor of
         // zero-load latency.
         let mut net = net6();
-        let m = net.mesh();
         let mut t = 0u64;
         let mut last_wave_avg = 0.0;
         for iter in 0..2000u64 {
@@ -448,6 +496,38 @@ mod tests {
         let tt = torus_net.send(0, src, dst, k);
         assert!(tt < tm, "torus {tt} should beat mesh {tm}");
         assert_eq!(torus_net.stats().total_hops, 2);
+    }
+
+    #[test]
+    fn faulted_send_detours_and_costs_more() {
+        use crate::faults::FaultPlan;
+        use crate::routing::Direction;
+        let mut net = net6();
+        let m = net.mesh();
+        let src = m.node_at(0, 0);
+        let dst = m.node_at(3, 0);
+        let clean = net.send(0, src, dst, MessageKind::LlcRequest);
+        net.reset_contention();
+        let cut = Link { from: m.node_at(1, 0), dir: Direction::East };
+        net.set_faults(Some(FaultPlan::new(m, 4).dead_link(cut).state_at(0)));
+        let faulted = net.try_send(0, src, dst, MessageKind::LlcRequest).unwrap();
+        assert!(faulted > clean, "detour must cost extra hops ({faulted} vs {clean})");
+        net.set_faults(None);
+        net.reset_contention();
+        assert_eq!(net.send(0, src, dst, MessageKind::LlcRequest), clean);
+    }
+
+    #[test]
+    fn try_send_reports_unreachable() {
+        use crate::faults::FaultPlan;
+        let mut net = net6();
+        let m = net.mesh();
+        let dead = m.node_at(2, 2);
+        net.set_faults(Some(FaultPlan::new(m, 4).dead_router(dead).state_at(0)));
+        let err = net.try_send(0, m.node_at(0, 0), dead, MessageKind::LlcRequest).unwrap_err();
+        assert_eq!(err, crate::RouteError::Unreachable { from: m.node_at(0, 0), to: dead });
+        // Messages between alive nodes still flow.
+        assert!(net.try_send(0, m.node_at(0, 0), m.node_at(5, 5), MessageKind::LlcRequest).is_ok());
     }
 
     #[test]

@@ -48,12 +48,24 @@ impl RegionGrid {
     /// Panics if either region-grid dimension is zero or exceeds the
     /// corresponding mesh dimension.
     pub fn new(mesh: Mesh, cols: u16, rows: u16) -> Self {
-        assert!(cols > 0 && rows > 0, "region grid must be non-empty");
-        assert!(
-            cols <= mesh.width() && rows <= mesh.height(),
-            "region grid {cols}x{rows} larger than mesh {mesh}"
-        );
-        RegionGrid { mesh, cols, rows }
+        Self::try_new(mesh, cols, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: errors instead of panicking when the grid
+    /// is empty or does not fit the mesh, so user-supplied partitions
+    /// become diagnostics rather than crashes.
+    pub fn try_new(mesh: Mesh, cols: u16, rows: u16) -> Result<Self, crate::error::LocmapError> {
+        if cols == 0 || rows == 0 {
+            return Err(crate::error::LocmapError::InvalidConfig(format!(
+                "region grid must be non-empty (got {cols}x{rows})"
+            )));
+        }
+        if cols > mesh.width() || rows > mesh.height() {
+            return Err(crate::error::LocmapError::InvalidConfig(format!(
+                "region grid {cols}x{rows} larger than mesh {mesh}"
+            )));
+        }
+        Ok(RegionGrid { mesh, cols, rows })
     }
 
     /// The standard 9-region (3x3) partition used as the paper's default.

@@ -4,8 +4,11 @@
 //! (Y) offset. It is deadlock-free on a mesh and is the norm in commercial
 //! parts (Tilera, Xeon Phi), as the paper notes.
 
+use crate::error::RouteError;
+use crate::faults::{link_exists, FaultState};
 use crate::topology::{Coord, Mesh, NodeId};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// One of the four mesh link directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,6 +109,100 @@ pub fn route_xy(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Link> {
         cur.y = if d.y > cur.y { cur.y + 1 } else { cur.y - 1 };
     }
     links
+}
+
+/// Fault-aware routing on a **mesh**: takes the plain X-Y route when every
+/// link and intermediate router on it is alive, otherwise falls back to a
+/// deterministic breadth-first detour over the surviving subgraph
+/// (neighbors explored in fixed E, W, N, S order, so the same fault state
+/// always yields the same detour). Returns
+/// [`RouteError::Unreachable`] when no surviving path exists — never a
+/// route to the wrong node.
+pub fn route_faulty(
+    mesh: Mesh,
+    src: NodeId,
+    dst: NodeId,
+    faults: &FaultState,
+) -> Result<Vec<Link>, RouteError> {
+    route_faulty_inner(mesh, src, dst, faults, false)
+}
+
+/// Fault-aware routing on a **torus**: like [`route_faulty`] but the fast
+/// path is wrap-aware X-Y and the detour search may use wrap links.
+pub fn route_faulty_torus(
+    mesh: Mesh,
+    src: NodeId,
+    dst: NodeId,
+    faults: &FaultState,
+) -> Result<Vec<Link>, RouteError> {
+    route_faulty_inner(mesh, src, dst, faults, true)
+}
+
+fn route_faulty_inner(
+    mesh: Mesh,
+    src: NodeId,
+    dst: NodeId,
+    faults: &FaultState,
+    torus: bool,
+) -> Result<Vec<Link>, RouteError> {
+    let unreachable = RouteError::Unreachable { from: src, to: dst };
+    if !faults.router_alive(src) || !faults.router_alive(dst) {
+        return Err(unreachable);
+    }
+    if src == dst {
+        return Ok(Vec::new());
+    }
+
+    // Fast path: the dimension-ordered route, when fully intact. Every
+    // link must be alive, as must every intermediate router (each link's
+    // source after the first; src and dst are already checked).
+    let xy = if torus { route_xy_torus(mesh, src, dst) } else { route_xy(mesh, src, dst) };
+    let intact = xy
+        .iter()
+        .enumerate()
+        .all(|(i, l)| faults.link_alive(*l) && (i == 0 || faults.router_alive(l.from)));
+    if intact {
+        return Ok(xy);
+    }
+
+    // Detour: BFS over the alive subgraph. Fixed direction order keeps the
+    // result deterministic; BFS keeps it minimal-hop on the survivors.
+    let n = mesh.node_count();
+    let mut prev: Vec<Option<Link>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    'search: while let Some(u) = queue.pop_front() {
+        for dir in [Direction::East, Direction::West, Direction::North, Direction::South] {
+            let link = Link { from: u, dir };
+            if !torus && !link_exists(mesh, link) {
+                continue;
+            }
+            let tc = link_target_torus(mesh, link);
+            let v = mesh.node_at(tc.x, tc.y);
+            if seen[v.index()] || !faults.link_alive(link) || !faults.router_alive(v) {
+                continue;
+            }
+            seen[v.index()] = true;
+            prev[v.index()] = Some(link);
+            if v == dst {
+                break 'search;
+            }
+            queue.push_back(v);
+        }
+    }
+    if !seen[dst.index()] {
+        return Err(unreachable);
+    }
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let link = prev[cur.index()].expect("BFS predecessor chain reaches src");
+        cur = link.from;
+        links.push(link);
+    }
+    links.reverse();
+    Ok(links)
 }
 
 /// The coordinate reached after traversing `link` (mesh semantics: no
@@ -222,6 +319,94 @@ mod tests {
         let route = route_xy_torus(m, m.node_at(0, 0), m.node_at(5, 0));
         assert_eq!(route.len(), 1);
         assert_eq!(route[0].dir, Direction::West);
+    }
+
+    #[test]
+    fn faulty_route_matches_xy_when_clean() {
+        let m = Mesh::new(6, 6);
+        let clean = crate::faults::FaultState::none(m, 4);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                assert_eq!(route_faulty(m, a, b, &clean).unwrap(), route_xy(m, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_route_detours_around_dead_link() {
+        use crate::faults::FaultPlan;
+        let m = Mesh::new(6, 6);
+        let src = m.node_at(0, 0);
+        let dst = m.node_at(3, 0);
+        let cut = Link { from: m.node_at(1, 0), dir: Direction::East };
+        let state = FaultPlan::new(m, 4).dead_link(cut).state_at(0);
+        let route = route_faulty(m, src, dst, &state).unwrap();
+        // Detour exists, avoids the cut channel, and still arrives.
+        assert!(route.iter().all(|l| state.link_alive(*l)));
+        let mut cur = m.coord_of(src);
+        for l in &route {
+            assert_eq!(m.coord_of(l.from), cur, "route not contiguous");
+            cur = link_target(m, *l);
+        }
+        assert_eq!(cur, m.coord_of(dst));
+        assert_eq!(route.len(), 5, "minimal detour is 2 extra hops");
+        // Determinism: same state, same route.
+        assert_eq!(route, route_faulty(m, src, dst, &state).unwrap());
+    }
+
+    #[test]
+    fn faulty_route_avoids_dead_router() {
+        use crate::faults::FaultPlan;
+        let m = Mesh::new(6, 6);
+        let dead = m.node_at(2, 0);
+        let state = FaultPlan::new(m, 4).dead_router(dead).state_at(0);
+        let route = route_faulty(m, m.node_at(0, 0), m.node_at(5, 0), &state).unwrap();
+        for l in &route {
+            assert_ne!(l.from, dead, "route passes through dead router");
+            let t = link_target(m, *l);
+            assert_ne!(m.node_at(t.x, t.y), dead, "route enters dead router");
+        }
+        // Endpoints on dead routers are unreachable by definition.
+        assert!(route_faulty(m, dead, m.node_at(5, 5), &state).is_err());
+        assert!(route_faulty(m, m.node_at(5, 5), dead, &state).is_err());
+    }
+
+    #[test]
+    fn disconnection_reports_unreachable() {
+        use crate::faults::FaultPlan;
+        let m = Mesh::new(2, 2);
+        // Cut both channels out of (0,0).
+        let state = FaultPlan::new(m, 1)
+            .dead_link(Link { from: m.node_at(0, 0), dir: Direction::East })
+            .dead_link(Link { from: m.node_at(0, 0), dir: Direction::South })
+            .state_at(0);
+        let err = route_faulty(m, m.node_at(0, 0), m.node_at(1, 1), &state).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::RouteError::Unreachable { from: m.node_at(0, 0), to: m.node_at(1, 1) }
+        );
+    }
+
+    #[test]
+    fn torus_faulty_route_uses_wrap_detour() {
+        use crate::faults::FaultPlan;
+        let m = Mesh::new(6, 6);
+        let src = m.node_at(0, 0);
+        let dst = m.node_at(1, 0);
+        let cut = Link { from: src, dir: Direction::East };
+        let state = FaultPlan::new(m, 4).dead_link(cut).state_at(0);
+        let mesh_route = route_faulty(m, src, dst, &state).unwrap();
+        let torus_route = route_faulty_torus(m, src, dst, &state).unwrap();
+        // The torus detour may wrap; both must avoid the cut and arrive.
+        for (route, wrap) in [(&mesh_route, false), (&torus_route, true)] {
+            assert!(route.iter().all(|l| state.link_alive(*l)));
+            let mut cur = m.coord_of(src);
+            for l in route.iter() {
+                cur = if wrap { link_target_torus(m, *l) } else { link_target(m, *l) };
+            }
+            assert_eq!(cur, m.coord_of(dst));
+        }
+        assert_eq!(mesh_route.len(), 3);
     }
 
     #[test]

@@ -72,10 +72,22 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero. Use [`Self::try_new`] to
+    /// validate untrusted input without panicking.
     pub fn new(width: u16, height: u16) -> Self {
-        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
-        Mesh { width, height }
+        Self::try_new(width, height).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: errors instead of panicking on a zero
+    /// dimension, so user-supplied sizes (CLI flags, config files) turn
+    /// into diagnostics rather than crashes.
+    pub fn try_new(width: u16, height: u16) -> Result<Self, crate::error::LocmapError> {
+        if width == 0 || height == 0 {
+            return Err(crate::error::LocmapError::InvalidConfig(format!(
+                "mesh dimensions must be non-zero (got {width}x{height})"
+            )));
+        }
+        Ok(Mesh { width, height })
     }
 
     /// Number of columns.

@@ -1,7 +1,7 @@
 //! Simulator configuration (the paper's Table 4).
 
 use locmap_mem::{CacheConfig, DramConfig};
-use locmap_noc::NocConfig;
+use locmap_noc::{LocmapError, NocConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -74,6 +74,49 @@ impl SimConfig {
         self.l2_bank = CacheConfig { size_bytes: bytes, ..self.l2_bank };
         self
     }
+
+    /// Checks the configuration for values the simulator cannot run with,
+    /// returning a [`LocmapError::InvalidConfig`] naming the offending
+    /// field instead of panicking (or dividing by zero) deep inside the
+    /// cache model.
+    pub fn validate(&self) -> Result<(), LocmapError> {
+        fn cache(label: &str, c: &CacheConfig) -> Result<(), LocmapError> {
+            let err = |msg: String| Err(LocmapError::InvalidConfig(msg));
+            if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+                return err(format!("{label} line size must be a power of two (got {})", c.line_bytes));
+            }
+            if c.ways == 0 {
+                return err(format!("{label} associativity must be non-zero"));
+            }
+            if c.size_bytes == 0 || !c.size_bytes.is_multiple_of(c.line_bytes * c.ways as u64) {
+                return err(format!(
+                    "{label} capacity {} B must be a non-zero multiple of ways x line ({} x {})",
+                    c.size_bytes, c.ways, c.line_bytes
+                ));
+            }
+            Ok(())
+        }
+        cache("L1", &self.l1)?;
+        cache("L2 bank", &self.l2_bank)?;
+        if !(self.cpi_base.is_finite() && self.cpi_base > 0.0) {
+            return Err(LocmapError::InvalidConfig(format!(
+                "cpi_base must be finite and positive (got {})",
+                self.cpi_base
+            )));
+        }
+        if self.noc.link_traversal == 0 {
+            return Err(LocmapError::InvalidConfig(
+                "link_traversal must be non-zero (a flit cannot cross a link in 0 cycles)".into(),
+            ));
+        }
+        if self.dram.banks == 0 {
+            return Err(LocmapError::InvalidConfig("DRAM banks per rank must be non-zero".into()));
+        }
+        if self.dram.request_buffer == 0 {
+            return Err(LocmapError::InvalidConfig("MC request buffer must hold at least one entry".into()));
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for SimConfig {
@@ -128,6 +171,36 @@ mod tests {
         assert!(s.contains("16 KB"));
         assert!(s.contains("512 KB"));
         assert!(s.contains("Router overhead: 3"));
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        for cfg in [SimConfig::default(), SimConfig::table4(), SimConfig::ideal_network(), SimConfig::ddr4()] {
+            assert!(cfg.validate().is_ok(), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let mut c = SimConfig::default();
+        c.l1.line_bytes = 48;
+        let e = c.validate().unwrap_err().to_string();
+        assert!(e.contains("L1") && e.contains("power of two"), "{e}");
+
+        let mut c = SimConfig::default();
+        c.l2_bank.ways = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("L2 bank"));
+
+        let c = SimConfig { cpi_base: f64::NAN, ..Default::default() };
+        assert!(c.validate().unwrap_err().to_string().contains("cpi_base"));
+
+        let mut c = SimConfig::default();
+        c.noc.link_traversal = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("link_traversal"));
+
+        let mut c = SimConfig::default();
+        c.dram.banks = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("DRAM banks"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::result::RunResult;
 use locmap_core::{AffinityVec, LlcOrg, MeasuredRates, NestMapping, Platform};
 use locmap_loopir::{Access, DataEnv, Program};
 use locmap_mem::{Access as MemAccess, Cache, Directory, Dram, PhysAddr};
-use locmap_noc::{MessageKind, Network, NodeId};
+use locmap_noc::{FaultState, LocmapError, McId, MessageKind, Network, NodeId, TopologyKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -25,6 +25,22 @@ pub struct Simulator {
     dram: Dram,
     dir: Directory,
     invalidations: u64,
+    faults: Option<SimFaults>,
+}
+
+/// Validated fault state plus the redirect tables derived from it.
+///
+/// Addresses homed on a dead MC are served by the nearest surviving
+/// controller; addresses homed on a dead LLC bank by the nearest surviving
+/// bank. The redirects come from [`FaultState::mc_redirects`] /
+/// [`FaultState::bank_redirects`], the same functions the degraded-mode
+/// mapper uses, so the mapper's model of post-fault traffic matches what
+/// the machine actually does.
+#[derive(Debug, Clone)]
+struct SimFaults {
+    state: FaultState,
+    mc_redirect: Vec<usize>,
+    bank_redirect: Vec<u16>,
 }
 
 /// Per-(set, ref) counters for measured hit rates.
@@ -65,9 +81,47 @@ impl Simulator {
             dram: Dram::new(cfg.dram, platform.mc_count()),
             dir: Directory::new(nodes),
             invalidations: 0,
+            faults: None,
             platform,
             cfg,
         }
+    }
+
+    /// Puts the machine into the degraded mode described by `state`.
+    ///
+    /// The state is first normalized ([`FaultState::effective`]: a dead
+    /// router takes its bank and any attached MC down with it), then
+    /// validated: at least one MC and one LLC bank must survive and the
+    /// alive routers must remain mutually reachable over surviving links.
+    /// On success all subsequent traffic routes around the faults and
+    /// redirected addresses go to their nearest surviving MC/bank; on
+    /// error the simulator is left unchanged.
+    pub fn set_faults(&mut self, state: &FaultState) -> Result<(), LocmapError> {
+        if state.mesh() != self.platform.mesh {
+            return Err(LocmapError::InvalidConfig(format!(
+                "fault state describes a {} but the platform has a {}",
+                state.mesh(),
+                self.platform.mesh
+            )));
+        }
+        let eff = state.effective(&self.platform.mc_coords);
+        let mc_redirect = eff.mc_redirects(&self.platform.mc_coords)?;
+        let bank_redirect = eff.bank_redirects()?;
+        eff.check_connected(self.cfg.noc.topology == TopologyKind::Torus)?;
+        self.net.set_faults(Some(eff.clone()));
+        self.faults = Some(SimFaults { state: eff, mc_redirect, bank_redirect });
+        Ok(())
+    }
+
+    /// Returns the machine to fault-free operation.
+    pub fn clear_faults(&mut self) {
+        self.net.set_faults(None);
+        self.faults = None;
+    }
+
+    /// The active (normalized) fault state, if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref().map(|f| &f.state)
     }
 
     /// The platform being simulated.
@@ -89,11 +143,38 @@ impl Simulator {
         self.dram = Dram::new(self.cfg.dram, self.platform.mc_count());
         self.dir = Directory::new(nodes);
         self.invalidations = 0;
+        // Degraded mode survives a reset: the new network inherits the
+        // active fault state.
+        if let Some(f) = &self.faults {
+            self.net.set_faults(Some(f.state.clone()));
+        }
     }
 
     /// Executes one mapped nest to completion and returns its metrics.
     pub fn run_nest(&mut self, program: &Program, mapping: &NestMapping, data: &DataEnv) -> RunResult {
         self.run_nest_offset(program, mapping, data, 0)
+    }
+
+    /// Fallible variant of [`Self::run_nest`] for degraded mode: rejects
+    /// mappings that place work on a core whose router is dead (a fault
+    /// injected *after* mapping — the caller should remap, e.g. with the
+    /// degraded compiler, and retry).
+    pub fn try_run_nest(
+        &mut self,
+        program: &Program,
+        mapping: &NestMapping,
+        data: &DataEnv,
+    ) -> Result<RunResult, LocmapError> {
+        if let Some(f) = &self.faults {
+            for (s, &core) in mapping.assignment.iter().enumerate() {
+                if !f.state.router_alive(core) {
+                    return Err(LocmapError::InvalidConfig(format!(
+                        "iteration set {s} is mapped to dead core {core}; remap before running"
+                    )));
+                }
+            }
+        }
+        Ok(self.run_nest(program, mapping, data))
     }
 
     /// Like [`run_nest`](Self::run_nest) but with every physical address
@@ -145,8 +226,8 @@ impl Simulator {
 
         // Advance the earliest core one iteration at a time.
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for c in 0..nodes {
-            if !work[c].is_empty() {
+        for (c, w) in work.iter().enumerate() {
+            if !w.is_empty() {
                 heap.push(Reverse((0, c)));
             }
         }
@@ -296,6 +377,30 @@ impl Simulator {
         })
     }
 
+    /// The MC serving `pa`, after fault redirection.
+    fn mc_for(&self, pa: PhysAddr) -> McId {
+        let mc = self.platform.addr_map.mc_of(pa);
+        match &self.faults {
+            Some(f) => McId(f.mc_redirect[mc.index()] as u16),
+            None => mc,
+        }
+    }
+
+    /// The LLC bank homing `pa` (shared organization), after fault
+    /// redirection.
+    fn home_bank_for(&self, pa: PhysAddr) -> u16 {
+        let bank = self.platform.addr_map.llc_bank_of(pa);
+        match &self.faults {
+            Some(f) => f.bank_redirect[bank as usize],
+            None => bank,
+        }
+    }
+
+    /// True when the private L2 bank at node `c` is offline.
+    fn local_bank_dead(&self, c: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| !f.state.bank_alive(NodeId(c as u16)))
+    }
+
     /// Simulates one memory access by core `c` at cycle `t`.
     ///
     /// Returns `(completion_cycle, level_served, mc_index, bank_index)`.
@@ -316,9 +421,7 @@ impl Simulator {
                 // LLC) or writer → sharer (private); fire-and-forget, it
                 // occupies links but does not stall the writer (MOESI-lite).
                 let from = match self.platform.llc {
-                    LlcOrg::SharedSNuca => {
-                        self.platform.bank_node(self.platform.addr_map.llc_bank_of(pa))
-                    }
+                    LlcOrg::SharedSNuca => self.platform.bank_node(self.home_bank_for(pa)),
                     LlcOrg::Private => core_node,
                 };
                 self.net.send(t, from, NodeId(s as u16), MessageKind::Coherence);
@@ -349,6 +452,16 @@ impl Simulator {
         // L2 / LLC level.
         match self.platform.llc {
             LlcOrg::Private => {
+                if self.local_bank_dead(c) {
+                    // Degraded mode: the local bank is offline, so every L1
+                    // miss goes straight to memory.
+                    let mc = self.mc_for(pa);
+                    let mc_node = self.platform.mc_node(mc);
+                    let t3 = self.net.send(t, core_node, mc_node, MessageKind::MemRequest);
+                    let t4 = self.dram.access(t3, mc, pa, &self.platform.addr_map);
+                    let t5 = self.net.send(t4, mc_node, core_node, MessageKind::mem_response64());
+                    return (t5 + self.cfg.l1_hit_cycles, Level::Mem, mc.index(), c as u16);
+                }
                 // Local bank, no network for the probe.
                 let t2 = t + self.cfg.l2_hit_cycles;
                 let l2_line = self.l2s[c].line_of(addr);
@@ -360,7 +473,7 @@ impl Simulator {
                                 self.l2_writeback(t2, c, e.line);
                             }
                         }
-                        let mc = self.platform.addr_map.mc_of(pa);
+                        let mc = self.mc_for(pa);
                         let mc_node = self.platform.mc_node(mc);
                         let t3 = self.net.send(t2, core_node, mc_node, MessageKind::MemRequest);
                         let t4 = self.dram.access(t3, mc, pa, &self.platform.addr_map);
@@ -370,7 +483,7 @@ impl Simulator {
                 }
             }
             LlcOrg::SharedSNuca => {
-                let bank = self.platform.addr_map.llc_bank_of(pa);
+                let bank = self.home_bank_for(pa);
                 let bank_node = self.platform.bank_node(bank);
                 let t1 = self.net.send(t, core_node, bank_node, MessageKind::LlcRequest);
                 let t2 = t1 + self.cfg.l2_hit_cycles;
@@ -387,7 +500,7 @@ impl Simulator {
                                 self.l2_writeback(t2, bank as usize, e.line);
                             }
                         }
-                        let mc = self.platform.addr_map.mc_of(pa);
+                        let mc = self.mc_for(pa);
                         let mc_node = self.platform.mc_node(mc);
                         let t3 = self.net.send(t2, bank_node, mc_node, MessageKind::MemRequest);
                         let t4 = self.dram.access(t3, mc, pa, &self.platform.addr_map);
@@ -405,9 +518,22 @@ impl Simulator {
     /// Drains a dirty L1 victim to its home L2 bank (fire-and-forget).
     fn l1_writeback(&mut self, t: u64, c: usize, victim_addr: u64) {
         let pa = PhysAddr(victim_addr);
+        if self.platform.llc == LlcOrg::Private && self.local_bank_dead(c) {
+            // No local bank to install into: drain straight to memory.
+            let mc = self.mc_for(pa);
+            let mc_node = self.platform.mc_node(mc);
+            self.net.send(
+                t,
+                NodeId(c as u16),
+                mc_node,
+                MessageKind::Writeback { line_bytes: self.cfg.l1.line_bytes as u16 },
+            );
+            self.dram.access(t, mc, pa, &self.platform.addr_map);
+            return;
+        }
         let target_bank = match self.platform.llc {
             LlcOrg::Private => c as u16,
-            LlcOrg::SharedSNuca => self.platform.addr_map.llc_bank_of(pa),
+            LlcOrg::SharedSNuca => self.home_bank_for(pa),
         };
         let bank_node = self.platform.bank_node(target_bank);
         if bank_node != NodeId(c as u16) {
@@ -433,7 +559,7 @@ impl Simulator {
     fn l2_writeback(&mut self, t: u64, bank: usize, l2_line: u64) {
         let victim_addr = l2_line * self.cfg.l2_bank.line_bytes;
         let pa = PhysAddr(victim_addr);
-        let mc = self.platform.addr_map.mc_of(pa);
+        let mc = self.mc_for(pa);
         let mc_node = self.platform.mc_node(mc);
         let src = match self.platform.llc {
             LlcOrg::Private => NodeId(bank as u16),
@@ -579,6 +705,122 @@ mod tests {
         let mut sim = Simulator::new(platform, SimConfig::default());
         let r = sim.run_nest(&p, &mapping, &DataEnv::new());
         assert!(r.invalidations > 0, "contended scalar write must invalidate");
+    }
+
+    #[test]
+    fn dead_mc_redirects_and_slows_memory() {
+        use locmap_noc::FaultPlan;
+        let (p, id) = demo_program(20_000, 3);
+        let platform = Platform::paper_default_with(LlcOrg::Private);
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let clean = sim.run_nest(&p, &mapping, &DataEnv::new());
+
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let state = FaultPlan::new(platform.mesh, platform.mc_count()).dead_mc(0).state_at(0);
+        sim.set_faults(&state).unwrap();
+        let degraded = sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap();
+
+        // Same work completes, but 3 MCs serve 4 MCs' worth of addresses
+        // over longer average distances.
+        assert!(degraded.dram.requests > 0);
+        assert!(
+            degraded.network.avg_latency() > clean.network.avg_latency(),
+            "degraded {:.1} !> clean {:.1}",
+            degraded.network.avg_latency(),
+            clean.network.avg_latency()
+        );
+    }
+
+    #[test]
+    fn set_faults_rejects_disconnecting_plans() {
+        use locmap_noc::{Direction, FaultPlan, Link};
+        let platform = Platform::paper_default();
+        let mesh = platform.mesh;
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        // Sever the entire first column from the rest.
+        let mut plan = FaultPlan::new(mesh, platform.mc_count());
+        for y in 0..mesh.height() {
+            plan = plan.dead_link(Link { from: mesh.node_at(0, y), dir: Direction::East });
+        }
+        let err = sim.set_faults(&plan.state_at(0)).unwrap_err();
+        assert!(matches!(err, LocmapError::Unreachable { .. }), "{err}");
+        assert!(sim.faults().is_none(), "failed set_faults must leave the simulator clean");
+    }
+
+    #[test]
+    fn set_faults_rejects_total_mc_loss() {
+        use locmap_noc::FaultPlan;
+        let platform = Platform::paper_default();
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        for k in 0..platform.mc_count() {
+            plan = plan.dead_mc(k);
+        }
+        let mut sim = Simulator::new(platform, SimConfig::default());
+        let err = sim.set_faults(&plan.state_at(0)).unwrap_err();
+        assert!(matches!(err, LocmapError::FaultConflict(_)), "{err}");
+    }
+
+    #[test]
+    fn try_run_nest_rejects_mappings_on_dead_cores() {
+        use locmap_noc::FaultPlan;
+        let (p, id) = demo_program(5_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id); // round-robin over all 36 cores
+        let dead = platform.mesh.node_at(3, 3);
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        sim.set_faults(&FaultPlan::new(platform.mesh, platform.mc_count()).dead_router(dead).state_at(0))
+            .unwrap();
+        let err = sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap_err();
+        assert!(matches!(err, LocmapError::InvalidConfig(_)), "{err}");
+        sim.clear_faults();
+        assert!(sim.try_run_nest(&p, &mapping, &DataEnv::new()).is_ok());
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        use locmap_noc::{FaultCounts, FaultPlan};
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let plan = FaultPlan::random(
+            42,
+            platform.mesh,
+            platform.mc_count(),
+            FaultCounts { links: 3, mcs: 1, ..Default::default() },
+        );
+        let run = |platform: &Platform| {
+            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            sim.set_faults(&plan.final_state()).unwrap();
+            sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap()
+        };
+        let a = run(&platform);
+        let b = run(&platform);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.dram.requests, b.dram.requests);
+    }
+
+    #[test]
+    fn dead_shared_bank_redirects_homes() {
+        use locmap_noc::FaultPlan;
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default(); // shared S-NUCA
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let dead = platform.mesh.node_at(0, 0);
+        sim.set_faults(&FaultPlan::new(platform.mesh, platform.mc_count()).dead_bank(dead).state_at(0))
+            .unwrap();
+        let r = sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap();
+        assert!(r.cycles > 0);
+        // No LLC hit may be served from the dead bank's region... the bank
+        // itself, rather: its L2 must stay untouched.
+        assert_eq!(sim.l2s[dead.index()].stats().hits + sim.l2s[dead.index()].stats().misses, 0);
     }
 
     #[test]

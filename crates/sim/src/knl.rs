@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn all_to_all_spreads_banks() {
         let p = knl_platform(KnlMode::AllToAll);
-        let mut seen = vec![false; 36];
+        let mut seen = [false; 36];
         for l in 0..4096u64 {
             seen[p.addr_map.llc_bank_of(PhysAddr(l * 64)) as usize] = true;
         }

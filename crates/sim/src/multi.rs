@@ -102,8 +102,8 @@ pub fn run_multiprogram(sim: &mut Simulator, slots: &[Slot<'_>]) -> Multiprogram
     let mut app_finish = vec![0u64; slots.len()];
 
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for c in 0..nodes {
-        if !work[c].is_empty() {
+    for (c, w) in work.iter().enumerate() {
+        if !w.is_empty() {
             heap.push(Reverse((0, c)));
         }
     }

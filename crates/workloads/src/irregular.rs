@@ -290,7 +290,7 @@ fn sparse_matvec(
             state ^= state << 17;
             let c = if k == 0 {
                 r // diagonal
-            } else if state % 16 == 0 {
+            } else if state.is_multiple_of(16) {
                 (state % rows) as i64
             } else {
                 (r + (k - (nnz_per_row as i64 / 2)) * (band / nnz_per_row as i64))

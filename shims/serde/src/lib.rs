@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! real `serde` cannot be fetched. The codebase only ever *derives*
+//! `Serialize`/`Deserialize` (nothing serializes at runtime), so this shim
+//! re-exports no-op derive macros under the same names. `use
+//! serde::{Deserialize, Serialize}` and `#[derive(serde::Serialize)]`
+//! both resolve exactly as they would against real serde.
+
+pub use serde_derive::{Deserialize, Serialize};

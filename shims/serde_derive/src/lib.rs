@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types but
+//! never actually serializes anything (there is no `serde_json` consumer),
+//! so the derives can legally expand to nothing. Keeping the attribute
+//! surface (`#[serde(...)]`) registered means real serde can be swapped
+//! back in without touching any call site.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

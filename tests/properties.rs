@@ -1,10 +1,13 @@
 //! Property-based invariants across crates, driven by proptest.
 
 use locmap_core::{
-    assign_private, balance_regions, place_in_regions, AffinityVec, Cac, CacPolicy, EtaMetric,
-    Mac, MacPolicy, Platform, PlacementPolicy,
+    assign_private, balance_regions, place_in_regions, AffinityVec, Cac, CacPolicy, Compiler,
+    EtaMetric, Mac, MacPolicy, MappingOptions, Platform, PlacementPolicy,
 };
-use locmap_noc::{route_xy, Mesh, MessageKind, Network, NocConfig, NodeId, RegionGrid, RegionId};
+use locmap_noc::{
+    link_target, route_faulty, route_xy, FaultCounts, FaultPlan, Mesh, MessageKind, Network,
+    NocConfig, NodeId, RegionGrid, RegionId, RouteError,
+};
 use proptest::prelude::*;
 
 fn arb_mesh() -> impl Strategy<Value = Mesh> {
@@ -85,7 +88,7 @@ proptest! {
             loads[r.index()] += 1;
         }
         let lo = before / 9;
-        let hi = lo + usize::from(before % 9 != 0);
+        let hi = lo + usize::from(!before.is_multiple_of(9));
         prop_assert!(loads.iter().all(|&c| c <= hi.max(1)), "loads {:?} exceed {}", loads, hi);
     }
 
@@ -126,6 +129,72 @@ proptest! {
         for v in cac.vectors() {
             prop_assert!((v.mass() - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn faulty_routing_delivers_or_says_unreachable(
+        mesh in arb_mesh(),
+        seed in 0u64..10_000,
+        links in 0usize..6,
+        routers in 0usize..4,
+        a in 0u16..81,
+        b in 0u16..81,
+    ) {
+        let n = mesh.node_count() as u16;
+        let (src, dst) = (NodeId(a % n), NodeId(b % n));
+        let counts = FaultCounts { links, routers, ..FaultCounts::default() };
+        let state = FaultPlan::random(seed, mesh, 4, counts).final_state();
+        match route_faulty(mesh, src, dst, &state) {
+            Ok(route) => {
+                // The route is contiguous from src, ends exactly at dst
+                // (never a wrong node), and every traversed link and
+                // entered router is alive.
+                let mut cur = src;
+                for l in &route {
+                    prop_assert_eq!(l.from, cur, "route not contiguous");
+                    prop_assert!(state.link_alive(*l), "route uses dead link");
+                    let t = link_target(mesh, *l);
+                    cur = mesh.node_at(t.x, t.y);
+                    prop_assert!(state.router_alive(cur), "route enters dead router");
+                }
+                prop_assert_eq!(cur, dst, "route delivered to the wrong node");
+            }
+            Err(RouteError::Unreachable { from, to }) => {
+                prop_assert_eq!(from, src);
+                prop_assert_eq!(to, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_simulation_is_bit_for_bit_deterministic(seed in 0u64..2_000) {
+        use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
+        use locmap_sim::{SimConfig, Simulator};
+
+        let platform = Platform::paper_default();
+        let counts = FaultCounts { links: 2, banks: 1, ..FaultCounts::default() };
+        let state = FaultPlan::random(seed, platform.mesh, platform.mc_coords.len(), counts)
+            .final_state();
+
+        let mut p = Program::new("det");
+        let elems = 4096u64;
+        let arr = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[(elems / 8) as i64]);
+        nest.add_ref(arr, AffineExpr::var(0, 8), Access::Read);
+        let id = p.add_nest(nest);
+        let data = DataEnv::new();
+        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let mapping = compiler.default_mapping(&p, id);
+
+        // Two identical constructions must agree completely: both reject
+        // the fault state with the same error, or produce identical runs.
+        let run = || -> Result<(u64, u64, u64), String> {
+            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            sim.set_faults(&state).map_err(|e| e.to_string())?;
+            let r = sim.try_run_nest(&p, &mapping, &data).map_err(|e| e.to_string())?;
+            Ok((r.cycles, r.network.total_latency, r.network.messages))
+        };
+        prop_assert_eq!(run(), run());
     }
 
     #[test]

@@ -157,7 +157,7 @@ pub fn hardware_placement(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locmap_core::{Compiler, MappingOptions};
+    use locmap_core::Compiler;
     use locmap_loopir::{Access, AffineExpr, LoopNest};
 
     fn two_array_program() -> Program {
@@ -206,7 +206,7 @@ mod tests {
     fn hardware_placement_puts_intense_sets_near_mcs() {
         let platform = Platform::paper_default();
         let p = two_array_program();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let m = compiler.default_mapping(&p, locmap_loopir::NestId(0));
         // Set 0 is the most intensive.
         let mut intensity = vec![0.0; m.sets.len()];
@@ -222,7 +222,7 @@ mod tests {
     fn hardware_placement_balances_loads() {
         let platform = Platform::paper_default();
         let p = two_array_program();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let m = compiler.default_mapping(&p, locmap_loopir::NestId(0));
         let intensity = vec![1.0; m.sets.len()];
         let hw = hardware_placement(&platform, locmap_loopir::NestId(0), &m.sets, &intensity);
@@ -271,7 +271,7 @@ pub fn co_optimize(
     max_rounds: usize,
     sample_stride: usize,
 ) -> (Vec<NestMapping>, Vec<CoOptRound>) {
-    let compiler = Compiler::new(platform.clone(), options);
+    let compiler = Compiler::builder(platform.clone()).options(options).build().unwrap();
     let mc_count = platform.mc_count() as u64;
     let narrays = program.arrays().len();
     let mut pads = vec![0u64; narrays];
@@ -399,7 +399,7 @@ mod coopt_tests {
 
         let mut p1 = program();
         optimize_layout(&mut p1, &platform, &data, 8);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let m1: Vec<NestMapping> = p1
             .nest_ids()
             .collect::<Vec<_>>()

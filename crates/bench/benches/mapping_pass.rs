@@ -3,7 +3,7 @@
 //! These measure the cost a build system would pay for the optimization.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use locmap_core::{Compiler, MappingOptions, Platform};
+use locmap_core::{Compiler, Platform};
 use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
 
 fn streaming_program(n: u64, refs: usize) -> Program {
@@ -22,7 +22,7 @@ fn bench_map_nest(c: &mut Criterion) {
     let mut g = c.benchmark_group("map_nest");
     for &n in &[20_000u64, 100_000] {
         let p = streaming_program(n, 4);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let data = DataEnv::new();
         g.bench_function(format!("cme+assign+balance n={n}"), |b| {
             b.iter(|| compiler.map_nest(&p, locmap_loopir::NestId(0), &data))
@@ -49,7 +49,7 @@ fn bench_affinity_only(c: &mut Criterion) {
 fn bench_balance(c: &mut Criterion) {
     use locmap_core::balance_regions;
     use locmap_noc::{Mesh, RegionGrid, RegionId};
-    let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+    let grid = RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap());
     c.bench_function("balance 4000 skewed sets", |b| {
         b.iter_batched(
             || (0..4000).map(|i| RegionId((i % 3) as u16)).collect::<Vec<_>>(),

@@ -3,14 +3,14 @@
 //! simulation speed (accesses simulated per second).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use locmap_core::{Compiler, MappingOptions, Platform};
+use locmap_core::{Compiler, Platform};
 use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
 use locmap_mem::{Access as MemAccess, AddrMap, AddrMapConfig, Cache, CacheConfig, Dram, DramConfig, PhysAddr};
 use locmap_noc::{Mesh, MessageKind, Network, NocConfig, NodeId};
-use locmap_sim::{SimConfig, Simulator};
+use locmap_sim::Simulator;
 
 fn bench_network(c: &mut Criterion) {
-    let mesh = Mesh::new(6, 6);
+    let mesh = Mesh::try_new(6, 6).unwrap();
     let mut g = c.benchmark_group("network");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("send 10k messages", |b| {
@@ -71,7 +71,7 @@ fn bench_full_nest(c: &mut Criterion) {
     nest.add_ref(b_arr, AffineExpr::var(0, 1), Access::Read);
     p.add_nest(nest);
     let platform = Platform::paper_default();
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let mapping = compiler.default_mapping(&p, locmap_loopir::NestId(0));
     let data = DataEnv::new();
 
@@ -80,7 +80,7 @@ fn bench_full_nest(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("run_nest 100k accesses (shared LLC)", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            let mut sim = Simulator::builder(platform.clone()).build().unwrap();
             sim.run_nest(&p, &mapping, &data).cycles
         })
     });

@@ -15,7 +15,7 @@ fn variant(name: &str, llc: LlcOrg) -> Experiment {
     match name {
         "default" => base,
         "8x8" => {
-            let mesh = Mesh::new(8, 8);
+            let mesh = Mesh::try_new(8, 8).unwrap();
             let platform = Platform {
                 mesh,
                 regions: RegionGrid::paper_default(mesh),

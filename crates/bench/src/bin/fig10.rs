@@ -18,7 +18,7 @@ fn main() {
     for llc in [LlcOrg::Private, LlcOrg::SharedSNuca] {
         for &(label, cols, rows_g) in grids {
             let mut exp = Experiment::paper_default(llc);
-            exp.platform.regions = RegionGrid::new(exp.platform.mesh, cols, rows_g);
+            exp.platform.regions = RegionGrid::try_new(exp.platform.mesh, cols, rows_g).unwrap();
             let (mut lat, mut ex) = (vec![], vec![]);
             for w in &apps {
                 let out = evaluate(w, &exp, Scheme::LocationAware);

@@ -3,13 +3,13 @@
 //! (private) and ~26.7% (shared) improvement for co-runs, and ~22% over
 //! SNC-4 on KNL for 4-app mixes.
 
-use locmap_core::{Compiler, LlcOrg, MappingOptions, Platform};
-use locmap_sim::{run_multiprogram, MultiprogramResult, SimConfig, Simulator, Slot};
+use locmap_core::{Compiler, LlcOrg, Platform};
+use locmap_sim::{run_multiprogram, MultiprogramResult, Simulator, Slot};
 use locmap_workloads::{build, Scale};
 
 fn corun(names: &[&str], llc: LlcOrg, optimized: bool) -> MultiprogramResult {
     let platform = Platform::paper_default_with(llc);
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let apps: Vec<_> = names.iter().map(|n| build(n, Scale::new(0.5))).collect();
     let mappings: Vec<_> = apps
         .iter()
@@ -25,7 +25,7 @@ fn corun(names: &[&str], llc: LlcOrg, optimized: bool) -> MultiprogramResult {
             }
         })
         .collect();
-    let mut sim = Simulator::new(platform, SimConfig::default());
+    let mut sim = Simulator::builder(platform).build().unwrap();
     let slots: Vec<Slot<'_>> = apps
         .iter()
         .zip(&mappings)

@@ -14,7 +14,7 @@ fn main() {
         let out = evaluate(w, &exp, Scheme::LocationAware);
         let modeled_sets: usize = {
             let compiler =
-                locmap_core::Compiler::new(exp.platform.clone(), exp.opts);
+                locmap_core::Compiler::builder(exp.platform.clone()).options(exp.opts).build().unwrap();
             w.program
                 .nest_ids()
                 .map(|n| compiler.default_mapping(&w.program, n).sets.len())

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod resilience;
 
 use locmap_baselines::{hardware_placement, optimize_layout};
@@ -285,13 +286,13 @@ pub fn evaluate(workload: &Workload, exp: &Experiment, scheme: Scheme) -> AppOut
         optimize_layout(&mut program, &exp.platform, &data, 8);
     }
 
-    let compiler = Compiler::new(exp.platform.clone(), exp.opts);
+    let compiler = Compiler::builder(exp.platform.clone()).options(exp.opts).build().unwrap();
     let nests = all_nests(&program);
     let defaults: Vec<NestMapping> =
         nests.iter().map(|&n| compiler.default_mapping(&program, n)).collect();
 
     // ---- Baseline: cold + (T-1) warm passes under the default mapping.
-    let mut base_sim = Simulator::new(exp.platform.clone(), exp.sim);
+    let mut base_sim = Simulator::builder(exp.platform.clone()).config(exp.sim).build().unwrap();
     let (base_cold, base_cold_res) = run_pass(&mut base_sim, &base_program, &defaults, &data);
     let (base_warm, base_warm_res) = if timing > 1 {
         run_pass(&mut base_sim, &base_program, &defaults, &data)
@@ -305,7 +306,7 @@ pub fn evaluate(workload: &Workload, exp: &Experiment, scheme: Scheme) -> AppOut
     // must see the layout the executor will run on: for layout schemes
     // that is the re-laid program, so profile it separately.
     let layout_profile = if matches!(scheme, Scheme::LayoutOnly | Scheme::LayoutPlusLa) {
-        let mut sim = Simulator::new(exp.platform.clone(), exp.sim);
+        let mut sim = Simulator::builder(exp.platform.clone()).config(exp.sim).build().unwrap();
         Some(run_pass(&mut sim, &program, &defaults, &data).1)
     } else {
         None
@@ -316,7 +317,7 @@ pub fn evaluate(workload: &Workload, exp: &Experiment, scheme: Scheme) -> AppOut
     let sim_cfg = if scheme == Scheme::IdealNetwork { SimConfig { noc: locmap_noc::NocConfig::ideal(), ..exp.sim } } else { exp.sim };
     let plan = plan(scheme, &compiler, &program, &data, &defaults, profile);
 
-    let mut opt_sim = Simulator::new(exp.platform.clone(), sim_cfg);
+    let mut opt_sim = Simulator::builder(exp.platform.clone()).config(sim_cfg).build().unwrap();
     // Pass 1: irregular nests execute the default mapping while the
     // inspector observes; regular nests already run optimized.
     let uses_inspector = matches!(scheme, Scheme::LocationAware | Scheme::LayoutPlusLa)
@@ -355,7 +356,7 @@ pub fn evaluate(workload: &Workload, exp: &Experiment, scheme: Scheme) -> AppOut
     } else {
         // Single-pass programs: the scheme pass *is* the measurement; run
         // on a fresh machine for metric collection.
-        let mut sim = Simulator::new(exp.platform.clone(), sim_cfg);
+        let mut sim = Simulator::builder(exp.platform.clone()).config(sim_cfg).build().unwrap();
         run_pass(&mut sim, &program, &plan.mappings, &data)
     };
     let opt_cycles = if timing > 1 {

@@ -108,7 +108,7 @@ fn run_arm(
     let data = &workload.data;
     let nests = nest_ids(program);
 
-    let mut sim = Simulator::new(exp.platform.clone(), exp.sim);
+    let mut sim = Simulator::builder(exp.platform.clone()).config(exp.sim).build().unwrap();
     if let Some(f) = faults {
         sim.set_faults(f)?;
     }
@@ -146,7 +146,7 @@ fn run_arm(
                     data,
                     measured,
                     |candidate| {
-                        let mut probe = Simulator::new(exp.platform.clone(), exp.sim);
+                        let mut probe = Simulator::builder(exp.platform.clone()).config(exp.sim).build().unwrap();
                         probe.set_faults(f).expect("state validated by the outer sim");
                         probe
                             .try_run_nest(program, candidate, data)
@@ -201,10 +201,10 @@ pub fn evaluate_resilience(
 ) -> Result<ResilienceOutcome, LocmapError> {
     let retry = RetryPolicy::default();
 
-    let clean = Compiler::new(exp.platform.clone(), exp.opts);
+    let clean = Compiler::builder(exp.platform.clone()).options(exp.opts).build().unwrap();
     let fault_free = run_arm(workload, exp, &clean, None, true, retry)?;
 
-    let degraded = Compiler::new_degraded(exp.platform.clone(), exp.opts, state)?;
+    let degraded = Compiler::builder(exp.platform.clone()).options(exp.opts).faults(state).build()?;
     let aware = run_arm(workload, exp, &degraded, Some(state), true, retry)?;
     let oblivious = run_arm(workload, exp, &degraded, Some(state), false, retry)?;
 

@@ -41,6 +41,14 @@ impl Args {
         Ok(raw.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
     }
 
+    /// `--apps a,b,c`, or `default` when the flag is absent (batch).
+    pub fn apps_or<'s>(&'s self, default: &[&'s str]) -> Result<Vec<&'s str>, String> {
+        if self.get("apps").is_none() {
+            return Ok(default.to_vec());
+        }
+        self.apps()
+    }
+
     /// `--llc private|shared` (default shared).
     pub fn llc(&self) -> Result<LlcOrg, String> {
         match self.get("llc").unwrap_or("shared") {
@@ -83,6 +91,19 @@ impl Args {
             Some(v) => {
                 v.parse().map_err(|_| format!("--{key} must be a non-negative integer, got {v:?}"))
             }
+        }
+    }
+
+    /// `--KEY N` positive count with an explicit default — e.g.
+    /// `--threads 4`. Zero is rejected: every caller needs at least one
+    /// worker or repetition.
+    pub fn count_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => match v.parse() {
+                Ok(0) | Err(_) => Err(format!("--{key} must be a positive integer, got {v:?}")),
+                Ok(n) => Ok(n),
+            },
         }
     }
 

@@ -1,9 +1,10 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use locmap_bench::batch::{run_throughput, BatchConfig, STENCIL_SUITE};
 use locmap_bench::resilience::evaluate_resilience;
 use locmap_bench::{evaluate, Experiment};
-use locmap_core::{region_loads, Compiler, Mac, MacPolicy, MappingOptions, Platform};
+use locmap_core::{region_loads, Compiler, Mac, MacPolicy, Platform};
 use locmap_noc::{FaultCounts, FaultPlan, Mesh, RegionGrid};
 use locmap_sim::{run_multiprogram, SimConfig, Simulator, Slot};
 use locmap_workloads::{build, names};
@@ -27,6 +28,9 @@ USAGE:
   locmap faults --app NAME [--llc L] [--scale F] [--seed N]
                 [--dead-mcs N] [--dead-links N] [--dead-routers N] [--dead-banks N]
                                           degraded-mode resilience comparison
+  locmap batch [--threads N] [--repeats N] [--apps a,b,...] [--llc L] [--scale F]
+                                          batch-mapping throughput (defaults: 4
+                                          threads, 4 repeats, stencil suite)
 
 SCHEMES: default | la | ideal | oracle | hardware | do | la+do
 
@@ -123,7 +127,7 @@ pub fn map(args: &Args) -> Result<(), String> {
     }
     let w = build(name, args.scale()?);
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     for nid in w.program.nest_ids().collect::<Vec<_>>() {
         let nest = w.program.nest(nid);
         let m = compiler.map_nest(&w.program, nid, &w.data);
@@ -161,7 +165,7 @@ pub fn heat(args: &Args) -> Result<(), String> {
     }
     let w = build(name, args.scale()?);
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let nid = w.program.nest_ids().next().expect("workload has a nest");
 
     for (label, optimized) in [("default mapping", false), ("location-aware mapping", true)] {
@@ -170,7 +174,7 @@ pub fn heat(args: &Args) -> Result<(), String> {
         } else {
             compiler.default_mapping(&w.program, nid)
         };
-        let mut sim = locmap_sim::Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = locmap_sim::Simulator::builder(platform.clone()).build().unwrap();
         sim.run_nest(&w.program, &mapping, &w.data);
         let pressure = locmap_sim::router_pressure(&sim);
         println!(
@@ -241,7 +245,7 @@ pub fn corun(args: &Args) -> Result<(), String> {
     }
     let scale = args.scale()?;
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let apps: Vec<_> = app_names.iter().map(|n| build(n, scale)).collect();
 
     let mut results = Vec::new();
@@ -257,7 +261,7 @@ pub fn corun(args: &Args) -> Result<(), String> {
                 }
             })
             .collect();
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         let slots: Vec<Slot<'_>> = apps
             .iter()
             .zip(&mappings)
@@ -277,5 +281,19 @@ pub fn corun(args: &Args) -> Result<(), String> {
     for (i, n) in app_names.iter().enumerate() {
         println!("  {n}: {} -> {} cycles", base.app_cycles[i], opt.app_cycles[i]);
     }
+    Ok(())
+}
+
+/// `locmap batch`.
+pub fn batch(args: &Args) -> Result<(), String> {
+    let cfg = BatchConfig {
+        apps: args.apps_or(STENCIL_SUITE)?.iter().map(|s| s.to_string()).collect(),
+        scale: args.scale()?,
+        llc: args.llc()?,
+        threads: args.count_or("threads", 4)?,
+        repeats: args.count_or("repeats", 4)?,
+    };
+    let report = run_throughput(&cfg).map_err(|e| e.to_string())?;
+    report.print();
     Ok(())
 }

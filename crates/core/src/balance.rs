@@ -161,7 +161,7 @@ mod tests {
     use locmap_noc::Mesh;
 
     fn grid() -> RegionGrid {
-        RegionGrid::paper_default(Mesh::new(6, 6))
+        RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap())
     }
 
     fn uniform_cost(_s: usize, _r: RegionId) -> f64 {

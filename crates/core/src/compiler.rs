@@ -16,13 +16,13 @@ use crate::hits::{AllMissModel, CmeModel, HitModel};
 use crate::placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 use crate::platform::{LlcOrg, Platform};
 use crate::vectors::{AffinityVec, Cac, CacPolicy, EtaMetric, Mac, MacPolicy};
-use locmap_cme::{CmeConfig, CmeEstimator};
+use locmap_cme::{CmeConfig, CmeEstimate, CmeEstimator};
 use locmap_loopir::{DataEnv, IterationSet, IterationSpace, NestId, Program};
 use locmap_noc::{FaultState, LocmapError, NodeId, RegionId};
 use serde::{Deserialize, Serialize};
 
 /// How the shared-LLC (S-NUCA) assignment objective treats LLC misses.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SharedObjective {
     /// CAI counts all LLC-reaching accesses (hits *and* misses) at their
     /// home-bank regions — the engineering form of the paper's §3.8
@@ -83,7 +83,7 @@ impl Default for MappingOptions {
 }
 
 /// The mapping produced for one loop nest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NestMapping {
     /// Which nest this schedules.
     pub nest: NestId,
@@ -160,25 +160,114 @@ pub struct Compiler {
     degraded: Option<DegradedInfo>,
 }
 
+/// Step-by-step construction of a [`Compiler`].
+///
+/// Obtained from [`Compiler::builder`]; every knob is optional and
+/// [`CompilerBuilder::build`] returns a typed error instead of panicking,
+/// so a service can surface bad configurations to its callers.
+///
+/// ```
+/// use locmap_core::prelude::*;
+///
+/// let compiler = Compiler::builder(Platform::paper_default())
+///     .options(MappingOptions::default())
+///     .build()
+///     .unwrap();
+/// assert!(!compiler.is_degraded());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompilerBuilder {
+    platform: Platform,
+    options: MappingOptions,
+    faults: Option<FaultState>,
+    alpha_override: Option<f64>,
+}
+
+impl CompilerBuilder {
+    /// Replaces the mapping options (default: [`MappingOptions::default`]).
+    pub fn options(mut self, options: MappingOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds a degraded-mode compiler that maps around the faults in
+    /// `state` (see [`Compiler::builder`] docs for the semantics).
+    pub fn faults(mut self, state: &FaultState) -> Self {
+        self.faults = Some(state.clone());
+        self
+    }
+
+    /// Forces a fixed α for shared-LLC assignment, overriding whatever
+    /// [`AlphaPolicy`] the options carry.
+    pub fn alpha_override(mut self, alpha: f64) -> Self {
+        self.alpha_override = Some(alpha);
+        self
+    }
+
+    /// Builds the compiler.
+    ///
+    /// Returns [`LocmapError::InvalidConfig`] for out-of-range overrides and
+    /// [`LocmapError::FaultConflict`] when a fault state leaves nothing to
+    /// map onto.
+    pub fn build(self) -> Result<Compiler, LocmapError> {
+        let mut options = self.options;
+        if let Some(a) = self.alpha_override {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(LocmapError::InvalidConfig(format!(
+                    "alpha override {a} outside [0, 1]"
+                )));
+            }
+            options.alpha = AlphaPolicy::Fixed(a);
+        }
+        match &self.faults {
+            Some(state) => Compiler::build_degraded(self.platform, options, state),
+            None => Ok(Compiler::build_clean(self.platform, options)),
+        }
+    }
+}
+
 impl Compiler {
+    /// Starts building a compiler for `platform`.
+    ///
+    /// With [`CompilerBuilder::faults`], the result maps around the faults
+    /// in the given state: MAC/CAC are recomputed over surviving MCs and
+    /// banks, MAI/CAI weight aimed at dead components is folded onto their
+    /// redirect targets, regions with no surviving core are evacuated, and
+    /// placement only uses alive cores. The state is folded through
+    /// [`FaultState::effective`] first, so dead routers imply their bank/MC
+    /// deaths exactly as the simulator sees them.
+    pub fn builder(platform: Platform) -> CompilerBuilder {
+        CompilerBuilder {
+            platform,
+            options: MappingOptions::default(),
+            faults: None,
+            alpha_override: None,
+        }
+    }
+
     /// Creates a compiler for `platform` with `options`.
+    #[deprecated(note = "use Compiler::builder")]
     pub fn new(platform: Platform, options: MappingOptions) -> Self {
+        Self::build_clean(platform, options)
+    }
+
+    /// Creates a degraded-mode compiler (see [`Compiler::builder`]).
+    #[deprecated(note = "use Compiler::builder")]
+    pub fn new_degraded(
+        platform: Platform,
+        options: MappingOptions,
+        state: &FaultState,
+    ) -> Result<Self, LocmapError> {
+        Self::build_degraded(platform, options, state)
+    }
+
+    fn build_clean(platform: Platform, options: MappingOptions) -> Self {
         let mac = Mac::compute(&platform, options.mac_policy);
         let cac = Cac::compute(&platform, options.cac_policy);
         Compiler { platform, options, mac, cac, degraded: None }
     }
 
-    /// Creates a degraded-mode compiler that maps around the faults in
-    /// `state`: MAC/CAC are recomputed over surviving MCs and banks, MAI/CAI
-    /// weight aimed at dead components is folded onto their redirect
-    /// targets, regions with no surviving core are evacuated, and placement
-    /// only uses alive cores.
-    ///
-    /// `state` is folded through [`FaultState::effective`] first, so dead
-    /// routers imply their bank/MC deaths exactly as the simulator sees
-    /// them. Returns [`LocmapError::FaultConflict`] when nothing survives
-    /// to map onto (no alive core, MC, or — for shared LLCs — bank).
-    pub fn new_degraded(
+    fn build_degraded(
         platform: Platform,
         options: MappingOptions,
         state: &FaultState,
@@ -284,31 +373,78 @@ impl Compiler {
     /// (when `data` lacks their index arrays) get a default round-robin
     /// schedule with `needs_inspector = true`.
     pub fn map_nest(&self, program: &Program, nest_id: NestId, data: &DataEnv) -> NestMapping {
-        let nest = program.nest(nest_id);
-        let resolvable = !nest.is_irregular()
-            || nest.refs.iter().all(|r| match &r.kind {
-                locmap_loopir::RefKind::Affine(_) => true,
-                locmap_loopir::RefKind::Indirect { index_array, .. } => data.has(*index_array),
-            });
+        let estimate = self.estimate_nest(program, nest_id, data);
+        self.map_nest_with_estimate(program, nest_id, data, estimate)
+    }
 
+    /// Runs only the CME analysis phase of [`Compiler::map_nest`].
+    ///
+    /// Returns `None` when CME is disabled or the nest has index arrays
+    /// missing from `data` (nothing is statically analyzable). The estimate
+    /// depends on the nest, its data layout and the CME/sampling options —
+    /// not on the platform's fault state — so [`crate::MappingSession`]
+    /// reuses it across fault epochs.
+    pub fn estimate_nest(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+    ) -> Option<CmeEstimate> {
+        let nest = program.nest(nest_id);
+        if !self.options.use_cme || !Self::resolvable(nest, data) {
+            return None;
+        }
+        let space = IterationSpace::enumerate(nest, &program.params());
+        let sets = space.split_by_fraction(self.options.iteration_set_fraction);
+        Some(CmeEstimator::new(self.options.cme).estimate(program, nest, &space, &sets, data))
+    }
+
+    /// Completes [`Compiler::map_nest`] from a precomputed CME estimate.
+    ///
+    /// `map_nest(p, n, d)` ≡ `map_nest_with_estimate(p, n, d,
+    /// estimate_nest(p, n, d))` bit for bit; passing a cached estimate from
+    /// an equivalent earlier call therefore cannot change the result.
+    pub fn map_nest_with_estimate(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        estimate: Option<CmeEstimate>,
+    ) -> NestMapping {
+        let nest = program.nest(nest_id);
         let space = IterationSpace::enumerate(nest, &program.params());
         let sets = space.split_by_fraction(self.options.iteration_set_fraction);
 
-        if !resolvable {
+        if !Self::resolvable(nest, data) {
             // Compile time cannot see through index arrays: emit the
             // default schedule; the inspector will redo it at runtime.
             let mapping = self.round_robin_schedule(nest_id, &sets);
             return NestMapping { needs_inspector: true, ..mapping };
         }
 
-        if self.options.use_cme {
-            let estimator = CmeEstimator::new(self.options.cme);
-            let estimate = estimator.estimate(program, nest, &space, &sets, data);
-            let model = CmeModel::new(estimate);
-            self.map_with_model(program, nest_id, data, &space, sets, &model)
-        } else {
-            self.map_with_model(program, nest_id, data, &space, sets, &AllMissModel)
+        match estimate {
+            Some(e) => {
+                let model = CmeModel::new(e);
+                self.map_with_model(program, nest_id, data, &space, sets, &model)
+            }
+            None if self.options.use_cme => {
+                let estimator = CmeEstimator::new(self.options.cme);
+                let e = estimator.estimate(program, nest, &space, &sets, data);
+                let model = CmeModel::new(e);
+                self.map_with_model(program, nest_id, data, &space, sets, &model)
+            }
+            None => self.map_with_model(program, nest_id, data, &space, sets, &AllMissModel),
         }
+    }
+
+    /// Whether every reference of `nest` can be resolved at compile time
+    /// given `data` (affine, or indirect with its index array installed).
+    fn resolvable(nest: &locmap_loopir::LoopNest, data: &DataEnv) -> bool {
+        !nest.is_irregular()
+            || nest.refs.iter().all(|r| match &r.kind {
+                locmap_loopir::RefKind::Affine(_) => true,
+                locmap_loopir::RefKind::Indirect { index_array, .. } => data.has(*index_array),
+            })
     }
 
     /// Maps a nest using an explicit hit model — the entry point for the
@@ -512,7 +648,7 @@ mod tests {
     #[test]
     fn regular_nest_maps_statically() {
         let (p, id) = streaming_program();
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(!m.needs_inspector);
         assert_eq!(m.assignment.len(), m.sets.len());
@@ -531,7 +667,7 @@ mod tests {
         let mut nest = LoopNest::rectangular("n", &[1000]);
         nest.add_indirect_ref(a, idx, AffineExpr::var(0, 1), Access::Read);
         let id = p.add_nest(nest);
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(m.needs_inspector);
     }
@@ -546,7 +682,7 @@ mod tests {
         let id = p.add_nest(nest);
         let mut data = DataEnv::new();
         data.set_index_array(idx, (0..1000).collect());
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.map_nest(&p, id, &data);
         assert!(!m.needs_inspector);
     }
@@ -554,7 +690,7 @@ mod tests {
     #[test]
     fn balanced_loads_across_regions() {
         let (p, id) = streaming_program();
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         let loads = crate::balance::region_loads(&m.regions, 9);
         let max = loads.iter().max().unwrap();
@@ -565,7 +701,7 @@ mod tests {
     #[test]
     fn default_mapping_is_round_robin() {
         let (p, id) = streaming_program();
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.default_mapping(&p, id);
         for (s, &core) in m.assignment.iter().enumerate() {
             assert_eq!(core.index(), s % 36);
@@ -576,7 +712,7 @@ mod tests {
     fn private_llc_skips_cai() {
         let (p, id) = streaming_program();
         let platform = Platform::paper_default_with(LlcOrg::Private);
-        let c = Compiler::new(platform, MappingOptions::default());
+        let c = Compiler::builder(platform).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(m.cai.is_empty());
         assert!(m.alphas.is_empty());
@@ -586,7 +722,7 @@ mod tests {
     #[test]
     fn shared_llc_computes_cai_and_alpha() {
         let (p, id) = streaming_program();
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert_eq!(m.cai.len(), m.sets.len());
         assert_eq!(m.alphas.len(), m.sets.len());
@@ -596,7 +732,7 @@ mod tests {
     #[test]
     fn mapping_is_deterministic() {
         let (p, id) = streaming_program();
-        let c = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
         let m1 = c.map_nest(&p, id, &DataEnv::new());
         let m2 = c.map_nest(&p, id, &DataEnv::new());
         assert_eq!(m1.assignment, m2.assignment);
@@ -606,7 +742,7 @@ mod tests {
     fn no_balance_option_respected() {
         let (p, id) = streaming_program();
         let opts = MappingOptions { balance: false, ..MappingOptions::default() };
-        let c = Compiler::new(Platform::paper_default(), opts);
+        let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert_eq!(m.balance.moved, 0);
     }
@@ -635,8 +771,8 @@ mod degraded_tests {
         let (p, id) = streaming_program();
         let platform = Platform::paper_default();
         let clean = FaultPlan::new(platform.mesh, platform.mc_coords.len()).final_state();
-        let c0 = Compiler::new(platform.clone(), MappingOptions::default());
-        let c1 = Compiler::new_degraded(platform, MappingOptions::default(), &clean).unwrap();
+        let c0 = Compiler::builder(platform.clone()).build().unwrap();
+        let c1 = Compiler::builder(platform).faults(&clean).build().unwrap();
         let m0 = c0.map_nest(&p, id, &DataEnv::new());
         let m1 = c1.map_nest(&p, id, &DataEnv::new());
         assert_eq!(m0.assignment, m1.assignment);
@@ -654,7 +790,7 @@ mod degraded_tests {
         }
         let state = plan.final_state();
         let c =
-            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+            Compiler::builder(platform).faults(&state).build().unwrap();
         assert!(c.is_degraded());
         let m = c.map_nest(&p, id, &DataEnv::new());
         for &core in &m.assignment {
@@ -670,7 +806,7 @@ mod degraded_tests {
             .dead_router(NodeId(0))
             .final_state();
         let c =
-            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+            Compiler::builder(platform).faults(&state).build().unwrap();
         let m = c.default_mapping(&p, id);
         assert!(m.assignment.iter().all(|&n| n != NodeId(0)));
         // 35 survivors: set 0 lands on node 1 (the first alive core).
@@ -685,7 +821,7 @@ mod degraded_tests {
         let state =
             FaultPlan::new(platform.mesh, platform.mc_coords.len()).dead_mc(0).final_state();
         let c =
-            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+            Compiler::builder(platform).faults(&state).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         let loads = crate::balance::region_loads(&m.regions, 9);
         let max = loads.iter().max().unwrap();
@@ -704,7 +840,7 @@ mod degraded_tests {
         }
         let state = plan.final_state();
         let c =
-            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+            Compiler::builder(platform).faults(&state).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(
             m.regions.iter().all(|r| r.index() != 0),
@@ -720,7 +856,7 @@ mod degraded_tests {
             plan = plan.dead_router(n);
         }
         let state = plan.final_state();
-        let err = Compiler::new_degraded(platform, MappingOptions::default(), &state);
+        let err = Compiler::builder(platform).faults(&state).build();
         assert!(err.is_err());
     }
 
@@ -733,7 +869,7 @@ mod degraded_tests {
             .dead_bank(NodeId(14))
             .final_state();
         let c =
-            Compiler::new_degraded(platform, MappingOptions::default(), &state).unwrap();
+            Compiler::builder(platform).faults(&state).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert_eq!(m.assignment.len(), m.sets.len());
         assert!(m.cai.is_empty());
@@ -761,7 +897,7 @@ mod objective_tests {
             shared_objective: SharedObjective::BankDistance,
             ..MappingOptions::default()
         };
-        let c = Compiler::new(Platform::paper_default(), opts);
+        let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(m.alphas.iter().all(|&a| (a - 1.0).abs() < 1e-12));
     }
@@ -773,7 +909,7 @@ mod objective_tests {
             shared_objective: SharedObjective::PaperAlphaBlend,
             ..MappingOptions::default()
         };
-        let c = Compiler::new(Platform::paper_default(), opts);
+        let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         // A cold 64 B-stride stream misses everywhere: alpha well below 1.
         assert!(m.alphas.iter().all(|&a| a < 0.9), "alphas {:?}", &m.alphas[..3]);
@@ -787,7 +923,7 @@ mod objective_tests {
             alpha: AlphaPolicy::Fixed(0.7),
             ..MappingOptions::default()
         };
-        let c = Compiler::new(Platform::paper_default(), opts);
+        let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
         let m = c.map_nest(&p, id, &DataEnv::new());
         assert!(m.alphas.iter().all(|&a| (a - 0.7).abs() < 1e-12));
     }
@@ -799,8 +935,8 @@ mod objective_tests {
         let o2 =
             MappingOptions { mac_policy: MacPolicy::InverseDistance, ..Default::default() };
         let platform = Platform::paper_default_with(LlcOrg::Private);
-        let m1 = Compiler::new(platform.clone(), o1).map_nest(&p, id, &DataEnv::new());
-        let m2 = Compiler::new(platform, o2).map_nest(&p, id, &DataEnv::new());
+        let m1 = Compiler::builder(platform.clone()).options(o1).build().unwrap().map_nest(&p, id, &DataEnv::new());
+        let m2 = Compiler::builder(platform).options(o2).build().unwrap().map_nest(&p, id, &DataEnv::new());
         // Both are valid (same shape); policies may or may not coincide.
         assert_eq!(m1.assignment.len(), m2.assignment.len());
     }
@@ -810,7 +946,7 @@ mod objective_tests {
         let (p, id) = stream(1 << 15);
         for eta in [EtaMetric::L1, EtaMetric::L2, EtaMetric::Cosine] {
             let opts = MappingOptions { eta, ..MappingOptions::default() };
-            let c = Compiler::new(Platform::paper_default(), opts);
+            let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
             let m = c.map_nest(&p, id, &DataEnv::new());
             for (s, &core) in m.assignment.iter().enumerate() {
                 assert_eq!(c.platform().regions.region_of(core), m.regions[s], "{eta:?}");
@@ -823,7 +959,7 @@ mod objective_tests {
         let (p, id) = stream(1 << 16);
         for (frac, expect) in [(0.01, 100), (0.0025, 410)] {
             let opts = MappingOptions { iteration_set_fraction: frac, ..MappingOptions::default() };
-            let c = Compiler::new(Platform::paper_default(), opts);
+            let c = Compiler::builder(Platform::paper_default()).options(opts).build().unwrap();
             let m = c.map_nest(&p, id, &DataEnv::new());
             assert_eq!(m.sets.len(), expect);
         }

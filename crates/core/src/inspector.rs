@@ -190,7 +190,7 @@ impl<'a> Inspector<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compiler::MappingOptions;
+    
     use crate::platform::Platform;
     use locmap_loopir::{Access, AffineExpr, LoopNest};
 
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn inspector_produces_executable_mapping() {
         let (p, id, data) = irregular_program(4000);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let sets = compiler.default_mapping(&p, id).sets.len();
         let measured = MeasuredRates::zeroed(sets, 1);
@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_work() {
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let (p1, id1, d1) = irregular_program(2000);
         let (p2, id2, d2) = irregular_program(20_000);
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn retry_converges_immediately_when_prediction_holds() {
         let (p, id, data) = irregular_program(4000);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let sets = compiler.default_mapping(&p, id).sets.len();
         let measured = MeasuredRates::zeroed(sets, 1);
@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn retry_remaps_on_divergence_and_charges_backoff() {
         let (p, id, data) = irregular_program(4000);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let sets = compiler.default_mapping(&p, id).sets.len();
         let initial = MeasuredRates::zeroed(sets, 1);
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn retry_is_bounded_by_policy() {
         let (p, id, data) = irregular_program(2000);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let sets = compiler.default_mapping(&p, id).sets.len();
         let initial = MeasuredRates::zeroed(sets, 1);
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn measured_rates_drive_alpha() {
         let (p, id, data) = irregular_program(4000);
-        let compiler = Compiler::new(Platform::paper_default(), MappingOptions::default());
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
         let inspector = Inspector::new(&compiler, InspectorCostModel::default());
         let sets = compiler.default_mapping(&p, id).sets.len();
         // Everything hits LLC ⇒ α = 1 for every set.

@@ -36,10 +36,14 @@
 //! let id = p.add_nest(nest);
 //!
 //! let platform = Platform::paper_default();
-//! let compiler = Compiler::new(platform, MappingOptions::default());
+//! let compiler = Compiler::builder(platform).build().unwrap();
 //! let mapping = compiler.map_nest(&p, id, &DataEnv::new());
 //! assert_eq!(mapping.assignment.len(), mapping.sets.len());
 //! ```
+//!
+//! For many nests at once, wrap the compiler in a [`MappingSession`]: it
+//! fans requests over worker threads and memoizes repeated kernels while
+//! guaranteeing bit-identical results to the serial path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -47,21 +51,46 @@
 mod affinity;
 mod assign;
 mod balance;
+pub mod cache;
 mod compiler;
 mod emit;
 mod hits;
 mod inspector;
 mod placement;
 mod platform;
+mod session;
 mod vectors;
 
 pub use affinity::{compute_cai, compute_cai_reaching, compute_mai, mean_eta, AffinityInputs};
 pub use assign::{assign_private, assign_shared, AlphaPolicy};
 pub use balance::{balance_regions, balance_regions_masked, region_loads, BalanceReport};
-pub use compiler::{Compiler, MappingOptions, NestMapping, SharedObjective};
+pub use cache::CacheStats;
+pub use compiler::{Compiler, CompilerBuilder, MappingOptions, NestMapping, SharedObjective};
 pub use emit::{emit_openmp, emit_schedule_json};
 pub use hits::{AllMissModel, CmeModel, HitModel, MeasuredRates, OracleModel};
 pub use inspector::{Inspector, InspectorCostModel, InspectorReport, RetryPolicy};
 pub use placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 pub use platform::{LlcOrg, Platform};
+pub use session::{MapRequest, MapResponse, MappingSession, MappingSessionBuilder, SessionStats};
 pub use vectors::{AffinityVec, EtaMetric, Mac, MacPolicy, Cac, CacPolicy};
+
+/// One-line import for the common mapping workflow.
+///
+/// Re-exports the types nearly every example and integration test needs:
+/// the platform and its mesh/region geometry, the compiler and session
+/// entry points with their builders, the program-construction types from
+/// [`locmap_loopir`], and the error/fault types from [`locmap_noc`].
+/// Simulation types live in `locmap_sim::prelude`, which includes this one
+/// (this crate cannot re-export them — the dependency points the other
+/// way).
+pub mod prelude {
+    pub use crate::compiler::{Compiler, CompilerBuilder, MappingOptions, NestMapping};
+    pub use crate::platform::{LlcOrg, Platform};
+    pub use crate::session::{
+        MapRequest, MapResponse, MappingSession, MappingSessionBuilder, SessionStats,
+    };
+    pub use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, NestId, Program};
+    pub use locmap_noc::{
+        FaultPlan, FaultState, LocmapError, Mesh, NodeId, RegionGrid, RegionId,
+    };
+}

@@ -129,7 +129,7 @@ mod tests {
     use locmap_noc::Mesh;
 
     fn grid() -> RegionGrid {
-        RegionGrid::paper_default(Mesh::new(6, 6))
+        RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap())
     }
 
     fn loads_of(placement: &[NodeId], regions: &RegionGrid, r: RegionId) -> Vec<usize> {
@@ -253,7 +253,7 @@ mod tests {
 
     #[test]
     fn single_core_regions_trivial() {
-        let g = RegionGrid::new(Mesh::new(6, 6), 6, 6);
+        let g = RegionGrid::try_new(Mesh::try_new(6, 6).unwrap(), 6, 6).unwrap();
         let assignment: Vec<RegionId> = (0..36).map(RegionId).collect();
         let placement = place_in_regions(&assignment, &g, PlacementPolicy::default());
         for (s, &core) in placement.iter().enumerate() {

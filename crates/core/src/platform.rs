@@ -46,7 +46,7 @@ impl Platform {
 
     /// The paper default with an explicit LLC organization.
     pub fn paper_default_with(llc: LlcOrg) -> Self {
-        let mesh = Mesh::new(6, 6);
+        let mesh = Mesh::try_new(6, 6).unwrap();
         Platform {
             mesh,
             regions: RegionGrid::paper_default(mesh),

@@ -1,0 +1,405 @@
+//! Batch mapping sessions: a thread pool plus a memo cache in front of the
+//! [`Compiler`].
+//!
+//! The paper evaluates the mapper one nest at a time; a mapping *service*
+//! sees streams of requests, most of them repeats (the same kernels,
+//! resubmitted per job). A [`MappingSession`] amortizes that: requests fan
+//! out over `std::thread::scope` workers, and results are memoized by
+//! content fingerprint (see [`crate::cache`]) so repeated kernels are
+//! answered without recomputation.
+//!
+//! Determinism: each request is mapped independently by the pure, already
+//! deterministic [`Compiler::map_nest`] pipeline and written back to its
+//! own index in the response vector, so `map_batch` returns bit-identical
+//! results for 1 worker, N workers, or a plain serial `map_nest` loop —
+//! a property the workspace proptests enforce.
+
+use crate::cache::{
+    fingerprint, hash_cme_options, hash_options, hash_platform, hash_request, CacheStats,
+    MemoCache,
+};
+use crate::compiler::{Compiler, MappingOptions, NestMapping};
+use crate::platform::Platform;
+use locmap_cme::CmeEstimate;
+use locmap_loopir::{DataEnv, NestId, Program};
+use locmap_noc::{FaultState, LocmapError};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of batch work: map `nest` of `program` given `data`.
+///
+/// Mirrors the argument list of [`Compiler::map_nest`] (and the simulator's
+/// co-run `Slot`), borrowing the inputs so a batch over many nests of one
+/// program costs nothing to assemble.
+#[derive(Debug, Clone, Copy)]
+pub struct MapRequest<'a> {
+    /// The application owning the nest.
+    pub program: &'a Program,
+    /// Which nest to map.
+    pub nest: NestId,
+    /// Index-array contents, if irregular.
+    pub data: &'a DataEnv,
+}
+
+/// The answer to one [`MapRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapResponse {
+    /// The mapping — bit-identical to what a serial
+    /// [`Compiler::map_nest`] call would produce.
+    pub mapping: NestMapping,
+    /// True when the mapping was answered from the memo cache.
+    pub cache_hit: bool,
+}
+
+/// Cache counters of a session, split by table.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionStats {
+    /// The full-mapping table (keyed by platform + options + request +
+    /// fault epoch).
+    pub mappings: CacheStats,
+    /// The CME-estimate table (keyed by request + cache-model options
+    /// only; survives fault-epoch bumps).
+    pub cme: CacheStats,
+}
+
+/// Step-by-step construction of a [`MappingSession`].
+#[derive(Debug, Clone)]
+pub struct MappingSessionBuilder {
+    platform: Platform,
+    options: MappingOptions,
+    threads: usize,
+    faults: Option<FaultState>,
+}
+
+impl MappingSessionBuilder {
+    /// Replaces the mapping options (default: [`MappingOptions::default`]).
+    pub fn options(mut self, options: MappingOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the worker count for [`MappingSession::map_batch`] (default 1;
+    /// 0 is treated as 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Starts the session in degraded mode, mapping around the faults in
+    /// `state`.
+    pub fn faults(mut self, state: &FaultState) -> Self {
+        self.faults = Some(state.clone());
+        self
+    }
+
+    /// Builds the session; fails like [`crate::CompilerBuilder::build`]
+    /// when the fault state leaves nothing to map onto.
+    pub fn build(self) -> Result<MappingSession, LocmapError> {
+        let mut builder = Compiler::builder(self.platform.clone()).options(self.options);
+        if let Some(state) = &self.faults {
+            builder = builder.faults(state);
+        }
+        Ok(MappingSession {
+            compiler: builder.build()?,
+            platform: self.platform,
+            options: self.options,
+            threads: self.threads,
+            epoch: 0,
+            mappings: MemoCache::new(),
+            cme: MemoCache::new(),
+        })
+    }
+}
+
+/// A long-lived batch-mapping engine: owns a [`Platform`] (via its
+/// [`Compiler`]), a scoped-thread worker pool, and the memo caches.
+///
+/// ```
+/// use locmap_core::prelude::*;
+/// use locmap_loopir::{Access, AffineExpr, LoopNest};
+///
+/// let mut p = Program::new("app");
+/// let a = p.add_array("A", 8, 4096);
+/// let mut nest = LoopNest::rectangular("n", &[4096]);
+/// nest.add_ref(a, AffineExpr::var(0, 1), Access::Read);
+/// let id = p.add_nest(nest);
+/// let data = DataEnv::new();
+///
+/// let session = MappingSession::builder(Platform::paper_default())
+///     .threads(4)
+///     .build()
+///     .unwrap();
+/// let reqs = vec![MapRequest { program: &p, nest: id, data: &data }; 3];
+/// let out = session.map_batch(&reqs);
+/// assert_eq!(out.len(), 3);
+/// assert!(!out[0].cache_hit);
+/// assert_eq!(out[0].mapping, out[2].mapping);
+/// ```
+#[derive(Debug)]
+pub struct MappingSession {
+    compiler: Compiler,
+    platform: Platform,
+    options: MappingOptions,
+    threads: usize,
+    /// Bumped on every fault-state change; part of the mapping cache key,
+    /// so stale entries become unreachable rather than being scrubbed.
+    epoch: u64,
+    mappings: MemoCache<NestMapping>,
+    cme: MemoCache<Option<CmeEstimate>>,
+}
+
+impl MappingSession {
+    /// Starts building a session for `platform`.
+    pub fn builder(platform: Platform) -> MappingSessionBuilder {
+        MappingSessionBuilder {
+            platform,
+            options: MappingOptions::default(),
+            threads: 1,
+            faults: None,
+        }
+    }
+
+    /// The compiler currently answering requests.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// The worker count used by [`MappingSession::map_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The current fault epoch (0 until the first fault-state change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime cache counters.
+    pub fn cache_stats(&self) -> SessionStats {
+        SessionStats { mappings: self.mappings.stats(), cme: self.cme.stats() }
+    }
+
+    /// Drops all cached entries (counters keep counting lifetime work).
+    pub fn clear_caches(&self) {
+        self.mappings.clear();
+        self.cme.clear();
+    }
+
+    /// Switches the session to map around the faults in `state`.
+    ///
+    /// Bumps the fault epoch: cached mappings from other epochs stop
+    /// matching (their key embeds the epoch), while cached CME estimates —
+    /// which do not depend on the machine's health — remain valid and keep
+    /// hitting.
+    pub fn set_faults(&mut self, state: &FaultState) -> Result<(), LocmapError> {
+        self.compiler = Compiler::builder(self.platform.clone())
+            .options(self.options)
+            .faults(state)
+            .build()?;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Returns the session to fault-free mapping (bumps the epoch).
+    pub fn clear_faults(&mut self) {
+        self.compiler = Compiler::builder(self.platform.clone())
+            .options(self.options)
+            .build()
+            .expect("fault-free build cannot fail");
+        self.epoch += 1;
+    }
+
+    /// Maps every request, fanning out across the session's workers.
+    ///
+    /// `out[i]` answers `requests[i]`; results are bit-identical to calling
+    /// [`Compiler::map_nest`] serially per request, for any worker count.
+    pub fn map_batch(&self, requests: &[MapRequest<'_>]) -> Vec<MapResponse> {
+        let workers = self.threads.min(requests.len()).max(1);
+        if workers == 1 {
+            return requests.iter().map(|r| self.map_one(r)).collect();
+        }
+
+        // Dynamic dispatch: workers pull the next unclaimed request index,
+        // so imbalanced kernels don't idle a statically partitioned pool.
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, MapResponse)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            local.push((i, self.map_one(&requests[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mapping worker panicked")).collect()
+        });
+
+        let mut out: Vec<Option<MapResponse>> = vec![None; requests.len()];
+        for (i, resp) in collected.drain(..).flatten() {
+            out[i] = Some(resp);
+        }
+        out.into_iter().map(|r| r.expect("every request index was claimed exactly once")).collect()
+    }
+
+    /// Maps a single request through the caches.
+    pub fn map_one(&self, r: &MapRequest<'_>) -> MapResponse {
+        let key = fingerprint(|h| {
+            hash_platform(h, &self.platform);
+            hash_options(h, &self.options);
+            h.write_u64(self.epoch);
+            hash_request(h, r.program, r.nest, r.data);
+        });
+        let (mapping, cache_hit) = self.mappings.get_or_insert_with(key, || {
+            let cme_key = fingerprint(|h| {
+                hash_cme_options(h, &self.options);
+                hash_request(h, r.program, r.nest, r.data);
+            });
+            let (estimate, _) = self
+                .cme
+                .get_or_insert_with(cme_key, || self.compiler.estimate_nest(r.program, r.nest, r.data));
+            self.compiler.map_nest_with_estimate(r.program, r.nest, r.data, estimate)
+        });
+        MapResponse { mapping, cache_hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_loopir::{Access, AffineExpr, LoopNest};
+    use locmap_noc::{FaultPlan, NodeId};
+
+    fn stream(name: &str, elems: u64) -> (Program, NestId) {
+        let mut p = Program::new(name);
+        let a = p.add_array("A", 8, elems);
+        let b = p.add_array("B", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    #[test]
+    fn batch_matches_serial_map_nest() {
+        let platform = Platform::paper_default();
+        let session = MappingSession::builder(platform.clone()).threads(4).build().unwrap();
+        let compiler = Compiler::builder(platform).build().unwrap();
+
+        let apps: Vec<(Program, NestId)> =
+            (0..5).map(|i| stream(&format!("app{i}"), 2048 + 512 * i)).collect();
+        let data = DataEnv::new();
+        let reqs: Vec<MapRequest<'_>> = apps
+            .iter()
+            .map(|(p, id)| MapRequest { program: p, nest: *id, data: &data })
+            .collect();
+
+        let out = session.map_batch(&reqs);
+        for (resp, (p, id)) in out.iter().zip(&apps) {
+            assert_eq!(resp.mapping, compiler.map_nest(p, *id, &data));
+        }
+    }
+
+    #[test]
+    fn repeats_hit_the_cache() {
+        let (p, id) = stream("rep", 4096);
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let reqs = vec![MapRequest { program: &p, nest: id, data: &data }; 4];
+        let out = session.map_batch(&reqs);
+        assert!(!out[0].cache_hit);
+        assert!(out[1..].iter().all(|r| r.cache_hit));
+        let stats = session.cache_stats();
+        assert_eq!(stats.mappings.hits, 3);
+        assert_eq!(stats.mappings.misses, 1);
+        assert_eq!(stats.mappings.entries, 1);
+    }
+
+    #[test]
+    fn fault_epoch_invalidates_mappings_but_not_cme() {
+        let (p, id) = stream("epoch", 4096);
+        let data = DataEnv::new();
+        let platform = Platform::paper_default();
+        let mut session = MappingSession::builder(platform.clone()).build().unwrap();
+        let req = [MapRequest { program: &p, nest: id, data: &data }];
+
+        assert!(!session.map_batch(&req)[0].cache_hit);
+        assert!(session.map_batch(&req)[0].cache_hit);
+
+        let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+            .dead_router(NodeId(7))
+            .final_state();
+        session.set_faults(&state).unwrap();
+        assert_eq!(session.epoch(), 1);
+
+        // The old mapping no longer matches (new epoch in the key)...
+        let degraded = session.map_batch(&req);
+        assert!(!degraded[0].cache_hit, "fault change must invalidate mappings");
+        assert!(degraded[0].mapping.assignment.iter().all(|&n| n != NodeId(7)));
+        // ...but the CME estimate was reused rather than recomputed.
+        let stats = session.cache_stats();
+        assert_eq!(stats.cme.hits, 1, "estimate survives the epoch bump");
+
+        // And the degraded mapping matches a degraded compiler exactly.
+        let dc = Compiler::builder(platform).faults(&state).build().unwrap();
+        assert_eq!(degraded[0].mapping, dc.map_nest(&p, id, &data));
+    }
+
+    #[test]
+    fn clear_faults_restores_clean_mapping() {
+        let (p, id) = stream("clear", 2048);
+        let data = DataEnv::new();
+        let platform = Platform::paper_default();
+        let mut session = MappingSession::builder(platform.clone()).build().unwrap();
+        let req = [MapRequest { program: &p, nest: id, data: &data }];
+        let clean = session.map_batch(&req)[0].mapping.clone();
+
+        let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+            .dead_router(NodeId(3))
+            .final_state();
+        session.set_faults(&state).unwrap();
+        let _ = session.map_batch(&req);
+        session.clear_faults();
+        assert_eq!(session.epoch(), 2);
+
+        let back = session.map_batch(&req);
+        assert!(!back[0].cache_hit, "epoch 2 key differs from epoch 0");
+        assert_eq!(back[0].mapping, clean, "fault-free mapping is restored bit for bit");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let session =
+            MappingSession::builder(Platform::paper_default()).threads(8).build().unwrap();
+        assert!(session.map_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn irregular_requests_flow_through() {
+        let mut p = Program::new("irr");
+        let a = p.add_array("A", 8, 1000);
+        let idx = p.add_array("idx", 4, 1000);
+        let mut nest = LoopNest::rectangular("n", &[1000]);
+        nest.add_indirect_ref(a, idx, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let no_data = DataEnv::new();
+        let mut with_data = DataEnv::new();
+        with_data.set_index_array(idx, (0..1000).rev().collect());
+
+        let session = MappingSession::builder(Platform::paper_default()).threads(2).build().unwrap();
+        let out = session.map_batch(&[
+            MapRequest { program: &p, nest: id, data: &no_data },
+            MapRequest { program: &p, nest: id, data: &with_data },
+        ]);
+        assert!(out[0].mapping.needs_inspector, "unresolvable nest defers");
+        assert!(!out[1].mapping.needs_inspector, "installed index array resolves");
+        assert_ne!(out[0].mapping, out[1].mapping);
+    }
+}

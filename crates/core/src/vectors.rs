@@ -119,7 +119,7 @@ pub enum EtaMetric {
 }
 
 /// How MAC weights are derived from region↔MC distances.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MacPolicy {
     /// Equal weight over the set of *nearest* MCs (ties split evenly) —
     /// reproduces Figure 6a exactly on the default platform.
@@ -556,10 +556,10 @@ mod tests {
     #[test]
     fn single_region_cac_is_self_only() {
         use locmap_noc::{Mesh, RegionGrid};
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::try_new(4, 4).unwrap();
         let mut p = Platform::paper_default();
         p.mesh = mesh;
-        p.regions = RegionGrid::new(mesh, 1, 1);
+        p.regions = RegionGrid::try_new(mesh, 1, 1).unwrap();
         let cac = Cac::compute(&p, CacPolicy::default());
         assert!(vec_close(cac.of(RegionId(0)), &[1.0]));
     }

@@ -48,6 +48,15 @@ impl ParamEnv {
             .get(&p)
             .unwrap_or_else(|| panic!("unbound parameter {p:?}"))
     }
+
+    /// All bindings in ascending [`ParamId`] order. The deterministic
+    /// ordering makes the environment content-hashable (the underlying
+    /// map iterates in arbitrary order).
+    pub fn entries(&self) -> Vec<(ParamId, i64)> {
+        let mut v: Vec<(ParamId, i64)> = self.values.iter().map(|(&p, &x)| (p, x)).collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v
+    }
 }
 
 /// An affine expression `Σ c_s·i_s + Σ d_p·P_p + constant`.

@@ -22,7 +22,7 @@ pub enum Access {
 }
 
 /// How a reference computes its element index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RefKind {
     /// Affine subscript: element = expr(iteration vector). Regular
     /// applications are built entirely from these.
@@ -49,7 +49,7 @@ impl RefKind {
 }
 
 /// A single array reference in the nest body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ArrayRef {
     /// The array being accessed.
     pub array: ArrayId,
@@ -62,7 +62,7 @@ pub struct ArrayRef {
 /// Bounds of one loop level: `lower <= i < upper`, where both bounds are
 /// affine in the *outer* loop indices and program parameters (supporting
 /// triangular nests like LU and Cholesky).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LoopBound {
     /// Inclusive lower bound.
     pub lower: AffineExpr,
@@ -81,7 +81,7 @@ impl LoopBound {
 ///
 /// The paper's unit of optimization: each parallel nest is independently
 /// analyzed and its iterations mapped to cores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LoopNest {
     /// Human-readable name (for reports).
     pub name: String,

@@ -14,7 +14,7 @@ pub struct ArrayId(pub u32);
 /// Per the paper's OS cooperation (§4), the bits of the virtual address
 /// that select the MC and LLC bank survive translation, so the virtual
 /// layout *is* the physical layout for mapping purposes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Array {
     /// Name for reports.
     pub name: String,
@@ -84,6 +84,16 @@ impl DataEnv {
     /// Whether contents for `a` are installed.
     pub fn has(&self, a: ArrayId) -> bool {
         self.index_arrays.contains_key(&a)
+    }
+
+    /// All installed index arrays in ascending [`ArrayId`] order. The
+    /// deterministic ordering makes the environment content-hashable (the
+    /// underlying map iterates in arbitrary order).
+    pub fn entries(&self) -> Vec<(ArrayId, &[i64])> {
+        let mut v: Vec<(ArrayId, &[i64])> =
+            self.index_arrays.iter().map(|(&a, c)| (a, c.as_slice())).collect();
+        v.sort_unstable_by_key(|&(a, _)| a);
+        v
     }
 }
 

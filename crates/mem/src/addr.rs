@@ -71,7 +71,7 @@ pub enum ClusterMode {
 }
 
 /// Parameters of the address-mapping policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AddrMapConfig {
     /// Page size in bytes (Table 4 default: 2 KB, the DRAM row size).
     pub page_bytes: u64,
@@ -106,7 +106,7 @@ impl AddrMapConfig {
 }
 
 /// Maps physical addresses to their home LLC bank and owning MC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AddrMap {
     cfg: AddrMapConfig,
 }

@@ -586,7 +586,7 @@ mod tests {
     use super::*;
 
     fn mesh() -> Mesh {
-        Mesh::new(6, 6)
+        Mesh::try_new(6, 6).unwrap()
     }
 
     #[test]
@@ -700,7 +700,7 @@ mod tests {
 
     #[test]
     fn connectivity_detects_partitions() {
-        let m = Mesh::new(2, 1);
+        let m = Mesh::try_new(2, 1).unwrap();
         let cut = Link { from: m.node_at(0, 0), dir: Direction::East };
         let state = FaultPlan::new(m, 1).dead_link(cut).state_at(0);
         assert!(matches!(state.check_connected(false), Err(LocmapError::Unreachable { .. })));

@@ -15,8 +15,8 @@
 //! ```
 //! use locmap_noc::{Mesh, RegionGrid, McPlacement, Network, NocConfig, MessageKind};
 //!
-//! let mesh = Mesh::new(6, 6);
-//! let regions = RegionGrid::new(mesh, 3, 3); // 9 regions of 2x2 cores
+//! let mesh = Mesh::try_new(6, 6).unwrap();
+//! let regions = RegionGrid::try_new(mesh, 3, 3).unwrap(); // 9 regions of 2x2 cores
 //! let mcs = McPlacement::Corners.coords(mesh);
 //! assert_eq!(mcs.len(), 4);
 //!

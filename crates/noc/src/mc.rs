@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn corners_on_6x6() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let cs = McPlacement::Corners.coords(m);
         assert_eq!(
             cs,
@@ -97,7 +97,7 @@ mod tests {
 
     #[test]
     fn edge_midpoints_on_6x6() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let cs = McPlacement::EdgeMidpoints.coords(m);
         assert_eq!(cs.len(), 4);
         // All attachment points lie on the chip boundary.
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn custom_placement_roundtrips() {
-        let m = Mesh::new(4, 4);
+        let m = Mesh::try_new(4, 4).unwrap();
         let coords = vec![Coord::new(1, 1), Coord::new(2, 2)];
         let p = McPlacement::Custom(coords.clone());
         assert_eq!(p.coords(m), coords);
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn corner_mcs_are_mutually_distant() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let cs = McPlacement::Corners.coords(m);
         for i in 0..4 {
             for j in (i + 1)..4 {

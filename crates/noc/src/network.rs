@@ -329,7 +329,7 @@ mod tests {
     use super::*;
 
     fn net6() -> Network {
-        Network::new(NocConfig::default(), Mesh::new(6, 6))
+        Network::new(NocConfig::default(), Mesh::try_new(6, 6).unwrap())
     }
 
     #[test]
@@ -369,7 +369,7 @@ mod tests {
 
     #[test]
     fn ideal_network_is_zero_latency() {
-        let mut net = Network::new(NocConfig::ideal(), Mesh::new(6, 6));
+        let mut net = Network::new(NocConfig::ideal(), Mesh::try_new(6, 6).unwrap());
         let m = net.mesh();
         let t = net.send(7, m.node_at(0, 0), m.node_at(5, 5), MessageKind::mem_response64());
         assert_eq!(t, 7);
@@ -484,7 +484,7 @@ mod tests {
 
     #[test]
     fn torus_shortens_far_routes() {
-        let mesh = Mesh::new(6, 6);
+        let mesh = Mesh::try_new(6, 6).unwrap();
         let mut mesh_net = Network::new(NocConfig::default(), mesh);
         let mut torus_net =
             Network::new(NocConfig { topology: TopologyKind::Torus, ..NocConfig::default() }, mesh);

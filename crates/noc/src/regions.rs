@@ -33,7 +33,7 @@ impl fmt::Display for RegionId {
 ///
 /// When the mesh dimensions do not divide evenly, the trailing regions
 /// absorb the remainder, so every core belongs to exactly one region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RegionGrid {
     mesh: Mesh,
     cols: u16,
@@ -47,6 +47,9 @@ impl RegionGrid {
     ///
     /// Panics if either region-grid dimension is zero or exceeds the
     /// corresponding mesh dimension.
+    #[deprecated(
+        note = "use RegionGrid::try_new, which reports invalid grids instead of panicking"
+    )]
     pub fn new(mesh: Mesh, cols: u16, rows: u16) -> Self {
         Self::try_new(mesh, cols, rows).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -70,7 +73,7 @@ impl RegionGrid {
 
     /// The standard 9-region (3x3) partition used as the paper's default.
     pub fn paper_default(mesh: Mesh) -> Self {
-        RegionGrid::new(mesh, 3, 3)
+        RegionGrid::try_new(mesh, 3, 3).expect("3x3 grid fits every mesh of at least 3x3")
     }
 
     /// The underlying mesh.
@@ -175,7 +178,7 @@ mod tests {
     use super::*;
 
     fn grid_6x6_3x3() -> RegionGrid {
-        RegionGrid::paper_default(Mesh::new(6, 6))
+        RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap())
     }
 
     #[test]
@@ -206,7 +209,7 @@ mod tests {
     #[test]
     fn every_node_in_exactly_one_region() {
         for (cols, rows) in [(1, 1), (2, 2), (3, 3), (2, 3), (6, 6), (3, 2)] {
-            let g = RegionGrid::new(Mesh::new(6, 6), cols, rows);
+            let g = RegionGrid::try_new(Mesh::try_new(6, 6).unwrap(), cols, rows).unwrap();
             let mut seen = vec![0u32; 36];
             for r in g.regions() {
                 for n in g.nodes_in(r) {
@@ -220,7 +223,7 @@ mod tests {
     #[test]
     fn uneven_partition_covers_mesh() {
         // 5x5 mesh into 2x2 regions: sizes 2/3 split.
-        let g = RegionGrid::new(Mesh::new(5, 5), 2, 2);
+        let g = RegionGrid::try_new(Mesh::try_new(5, 5).unwrap(), 2, 2).unwrap();
         let total: usize = g.regions().map(|r| g.nodes_in(r).len()).sum();
         assert_eq!(total, 25);
     }
@@ -258,7 +261,7 @@ mod tests {
 
     #[test]
     fn single_core_regions() {
-        let g = RegionGrid::new(Mesh::new(6, 6), 6, 6);
+        let g = RegionGrid::try_new(Mesh::try_new(6, 6).unwrap(), 6, 6).unwrap();
         assert_eq!(g.region_count(), 36);
         for r in g.regions() {
             assert_eq!(g.nodes_in(r).len(), 1);
@@ -274,7 +277,7 @@ mod more_tests {
     fn paper_figure3_9x9_mesh_regions() {
         // The paper's Figure 3 shows a 9x9 manycore; its 3x3 regions hold
         // 9 cores each.
-        let g = RegionGrid::paper_default(Mesh::new(9, 9));
+        let g = RegionGrid::paper_default(Mesh::try_new(9, 9).unwrap());
         assert_eq!(g.region_count(), 9);
         for r in g.regions() {
             assert_eq!(g.nodes_in(r).len(), 9);
@@ -283,7 +286,7 @@ mod more_tests {
 
     #[test]
     fn rectangular_mesh_regions_cover() {
-        let g = RegionGrid::new(Mesh::new(8, 4), 4, 2);
+        let g = RegionGrid::try_new(Mesh::try_new(8, 4).unwrap(), 4, 2).unwrap();
         assert_eq!(g.region_count(), 8);
         let total: usize = g.regions().map(|r| g.nodes_in(r).len()).sum();
         assert_eq!(total, 32);
@@ -294,7 +297,7 @@ mod more_tests {
 
     #[test]
     fn grid_pos_roundtrip() {
-        let g = RegionGrid::new(Mesh::new(6, 6), 3, 3);
+        let g = RegionGrid::try_new(Mesh::try_new(6, 6).unwrap(), 3, 3).unwrap();
         for r in g.regions() {
             let (c, row) = g.grid_pos(r);
             assert_eq!(RegionId(row * 3 + c), r);
@@ -303,7 +306,7 @@ mod more_tests {
 
     #[test]
     fn neighbors_are_mutual() {
-        let g = RegionGrid::new(Mesh::new(6, 6), 3, 2);
+        let g = RegionGrid::try_new(Mesh::try_new(6, 6).unwrap(), 3, 2).unwrap();
         for a in g.regions() {
             for b in g.neighbors(a) {
                 assert!(g.neighbors(b).contains(&a), "{a} <-> {b}");
@@ -313,7 +316,7 @@ mod more_tests {
 
     #[test]
     fn region_distance_respects_grid_geometry() {
-        let g = RegionGrid::paper_default(Mesh::new(6, 6));
+        let g = RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap());
         // Adjacent regions are closer than diagonal ones.
         let adj = g.region_distance(RegionId(0), RegionId(1));
         let diag = g.region_distance(RegionId(0), RegionId(4));

@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn route_length_equals_manhattan_distance() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         for a in m.nodes() {
             for b in m.nodes() {
                 assert_eq!(route_xy(m, a, b).len() as u32, m.distance(a, b));
@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn route_is_x_then_y() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let route = route_xy(m, m.node_at(0, 0), m.node_at(3, 2));
         let dirs: Vec<_> = route.iter().map(|l| l.dir).collect();
         assert_eq!(
@@ -262,7 +262,7 @@ mod tests {
 
     #[test]
     fn route_is_contiguous_and_reaches_destination() {
-        let m = Mesh::new(5, 7);
+        let m = Mesh::try_new(5, 7).unwrap();
         for a in m.nodes() {
             for b in m.nodes() {
                 let route = route_xy(m, a, b);
@@ -278,13 +278,13 @@ mod tests {
 
     #[test]
     fn self_route_is_empty() {
-        let m = Mesh::new(4, 4);
+        let m = Mesh::try_new(4, 4).unwrap();
         assert!(route_xy(m, m.node_at(2, 2), m.node_at(2, 2)).is_empty());
     }
 
     #[test]
     fn torus_route_length_equals_torus_distance() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         for a in m.nodes() {
             for b in m.nodes() {
                 assert_eq!(
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn torus_route_is_contiguous_and_reaches_destination() {
-        let m = Mesh::new(5, 7);
+        let m = Mesh::try_new(5, 7).unwrap();
         for a in m.nodes() {
             for b in m.nodes() {
                 let route = route_xy_torus(m, a, b);
@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn torus_uses_wrap_for_far_pairs() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         // (0,0) -> (5,0): one West wrap hop instead of five East hops.
         let route = route_xy_torus(m, m.node_at(0, 0), m.node_at(5, 0));
         assert_eq!(route.len(), 1);
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn faulty_route_matches_xy_when_clean() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let clean = crate::faults::FaultState::none(m, 4);
         for a in m.nodes() {
             for b in m.nodes() {
@@ -335,7 +335,7 @@ mod tests {
     #[test]
     fn faulty_route_detours_around_dead_link() {
         use crate::faults::FaultPlan;
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let src = m.node_at(0, 0);
         let dst = m.node_at(3, 0);
         let cut = Link { from: m.node_at(1, 0), dir: Direction::East };
@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn faulty_route_avoids_dead_router() {
         use crate::faults::FaultPlan;
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let dead = m.node_at(2, 0);
         let state = FaultPlan::new(m, 4).dead_router(dead).state_at(0);
         let route = route_faulty(m, m.node_at(0, 0), m.node_at(5, 0), &state).unwrap();
@@ -374,7 +374,7 @@ mod tests {
     #[test]
     fn disconnection_reports_unreachable() {
         use crate::faults::FaultPlan;
-        let m = Mesh::new(2, 2);
+        let m = Mesh::try_new(2, 2).unwrap();
         // Cut both channels out of (0,0).
         let state = FaultPlan::new(m, 1)
             .dead_link(Link { from: m.node_at(0, 0), dir: Direction::East })
@@ -390,7 +390,7 @@ mod tests {
     #[test]
     fn torus_faulty_route_uses_wrap_detour() {
         use crate::faults::FaultPlan;
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let src = m.node_at(0, 0);
         let dst = m.node_at(1, 0);
         let cut = Link { from: src, dir: Direction::East };
@@ -411,7 +411,7 @@ mod tests {
 
     #[test]
     fn link_indices_are_unique_and_in_range() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         let mut seen = std::collections::HashSet::new();
         for n in m.nodes() {
             for dir in [Direction::East, Direction::West, Direction::North, Direction::South] {

@@ -72,8 +72,8 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero. Use [`Self::try_new`] to
-    /// validate untrusted input without panicking.
+    /// Panics if either dimension is zero.
+    #[deprecated(note = "use Mesh::try_new, which reports invalid sizes instead of panicking")]
     pub fn new(width: u16, height: u16) -> Self {
         Self::try_new(width, height).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn node_ids_are_row_major() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         assert_eq!(m.node_at(0, 0), NodeId(0));
         assert_eq!(m.node_at(5, 0), NodeId(5));
         assert_eq!(m.node_at(0, 1), NodeId(6));
@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn coord_roundtrip() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         for n in m.nodes() {
             let c = m.coord_of(n);
             assert_eq!(m.node_at(c.x, c.y), n);
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn manhattan_distance_examples() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         assert_eq!(m.distance(m.node_at(0, 0), m.node_at(5, 5)), 10);
         assert_eq!(m.distance(m.node_at(2, 3), m.node_at(2, 3)), 0);
         assert_eq!(m.distance(m.node_at(1, 1), m.node_at(4, 1)), 3);
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn diameter_matches_corners() {
-        let m = Mesh::new(8, 8);
+        let m = Mesh::try_new(8, 8).unwrap();
         assert_eq!(m.diameter(), 14);
         assert_eq!(m.distance(m.node_at(0, 0), m.node_at(7, 7)), 14);
     }
@@ -198,12 +198,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn node_at_out_of_bounds_panics() {
-        Mesh::new(4, 4).node_at(4, 0);
+        Mesh::try_new(4, 4).unwrap().node_at(4, 0);
     }
 
     #[test]
     fn torus_distance_wraps() {
-        let m = Mesh::new(6, 6);
+        let m = Mesh::try_new(6, 6).unwrap();
         // Opposite corners are 2 hops apart on a torus (one wrap per axis).
         assert_eq!(m.torus_distance(m.node_at(0, 0), m.node_at(5, 5)), 2);
         // Short distances match Manhattan.
@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn node_count() {
-        assert_eq!(Mesh::new(6, 6).node_count(), 36);
-        assert_eq!(Mesh::new(8, 8).node_count(), 64);
-        assert_eq!(Mesh::new(1, 1).node_count(), 1);
+        assert_eq!(Mesh::try_new(6, 6).unwrap().node_count(), 36);
+        assert_eq!(Mesh::try_new(8, 8).unwrap().node_count(), 64);
+        assert_eq!(Mesh::try_new(1, 1).unwrap().node_count(), 1);
     }
 }

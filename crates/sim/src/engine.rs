@@ -60,13 +60,68 @@ pub(crate) enum Level {
     Mem,
 }
 
+/// Step-by-step construction of a [`Simulator`].
+///
+/// Obtained from [`Simulator::builder`]. Unlike the deprecated
+/// [`Simulator::new`], [`SimulatorBuilder::build`] validates the timing
+/// configuration and platform consistency, returning a typed error instead
+/// of panicking, and can start the machine directly in degraded mode.
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder {
+    platform: Platform,
+    cfg: SimConfig,
+    faults: Option<FaultState>,
+}
+
+impl SimulatorBuilder {
+    /// Replaces the timing configuration (default: [`SimConfig::default`]).
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Starts the machine in the degraded mode described by `state`
+    /// (validated exactly like [`Simulator::set_faults`]).
+    pub fn faults(mut self, state: &FaultState) -> Self {
+        self.faults = Some(state.clone());
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// Returns [`LocmapError::InvalidConfig`] for a bad timing
+    /// configuration or a platform whose address map disagrees with the
+    /// mesh, and fault-validation errors when a fault state was given.
+    pub fn build(self) -> Result<Simulator, LocmapError> {
+        self.cfg.validate()?;
+        let nodes = self.platform.mesh.node_count();
+        let banks = self.platform.addr_map.config().llc_banks as usize;
+        if banks != nodes {
+            return Err(LocmapError::InvalidConfig(format!(
+                "address map expects {banks} LLC banks but the mesh has {nodes} nodes"
+            )));
+        }
+        let mut sim = Simulator::construct(self.platform, self.cfg);
+        if let Some(state) = &self.faults {
+            sim.set_faults(state)?;
+        }
+        Ok(sim)
+    }
+}
+
 impl Simulator {
+    /// Starts building the machine described by `platform`.
+    pub fn builder(platform: Platform) -> SimulatorBuilder {
+        SimulatorBuilder { platform, cfg: SimConfig::default(), faults: None }
+    }
+
     /// Builds the machine described by `platform` with timing `cfg`.
     ///
     /// # Panics
     ///
     /// Panics if the platform's address map expects a different number of
     /// LLC banks than the mesh has nodes.
+    #[deprecated(note = "use Simulator::builder")]
     pub fn new(platform: Platform, cfg: SimConfig) -> Self {
         let nodes = platform.mesh.node_count();
         assert_eq!(
@@ -74,6 +129,11 @@ impl Simulator {
             nodes,
             "address map bank count must match mesh node count"
         );
+        Self::construct(platform, cfg)
+    }
+
+    fn construct(platform: Platform, cfg: SimConfig) -> Self {
+        let nodes = platform.mesh.node_count();
         Simulator {
             net: Network::new(cfg.noc, platform.mesh),
             l1s: (0..nodes).map(|_| Cache::new(cfg.l1)).collect(),
@@ -578,7 +638,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locmap_core::{Compiler, MappingOptions};
+    use locmap_core::Compiler;
     use locmap_loopir::{AffineExpr, LoopNest};
 
     fn demo_program(elems: u64, refs: usize) -> (Program, locmap_loopir::NestId) {
@@ -595,13 +655,13 @@ mod tests {
 
     fn run(platform: Platform, cfg: SimConfig, optimized: bool) -> RunResult {
         let (p, id) = demo_program(20_000, 3);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = if optimized {
             compiler.map_nest(&p, id, &DataEnv::new())
         } else {
             compiler.default_mapping(&p, id)
         };
-        let mut sim = Simulator::new(platform, cfg);
+        let mut sim = Simulator::builder(platform).config(cfg).build().unwrap();
         sim.run_nest(&p, &mapping, &DataEnv::new())
     }
 
@@ -675,9 +735,9 @@ mod tests {
     fn reset_restores_cold_state() {
         let (p, id) = demo_program(10_000, 2);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let cold = sim.run_nest(&p, &mapping, &DataEnv::new());
         let warm = sim.run_nest(&p, &mapping, &DataEnv::new());
         sim.reset();
@@ -700,9 +760,9 @@ mod tests {
         nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
         let id = p.add_nest(nest);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let r = sim.run_nest(&p, &mapping, &DataEnv::new());
         assert!(r.invalidations > 0, "contended scalar write must invalidate");
     }
@@ -712,13 +772,13 @@ mod tests {
         use locmap_noc::FaultPlan;
         let (p, id) = demo_program(20_000, 3);
         let platform = Platform::paper_default_with(LlcOrg::Private);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
 
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         let clean = sim.run_nest(&p, &mapping, &DataEnv::new());
 
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         let state = FaultPlan::new(platform.mesh, platform.mc_count()).dead_mc(0).state_at(0);
         sim.set_faults(&state).unwrap();
         let degraded = sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap();
@@ -739,7 +799,7 @@ mod tests {
         use locmap_noc::{Direction, FaultPlan, Link};
         let platform = Platform::paper_default();
         let mesh = platform.mesh;
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         // Sever the entire first column from the rest.
         let mut plan = FaultPlan::new(mesh, platform.mc_count());
         for y in 0..mesh.height() {
@@ -758,7 +818,7 @@ mod tests {
         for k in 0..platform.mc_count() {
             plan = plan.dead_mc(k);
         }
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let err = sim.set_faults(&plan.state_at(0)).unwrap_err();
         assert!(matches!(err, LocmapError::FaultConflict(_)), "{err}");
     }
@@ -768,10 +828,10 @@ mod tests {
         use locmap_noc::FaultPlan;
         let (p, id) = demo_program(5_000, 2);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id); // round-robin over all 36 cores
         let dead = platform.mesh.node_at(3, 3);
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         sim.set_faults(&FaultPlan::new(platform.mesh, platform.mc_count()).dead_router(dead).state_at(0))
             .unwrap();
         let err = sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap_err();
@@ -785,7 +845,7 @@ mod tests {
         use locmap_noc::{FaultCounts, FaultPlan};
         let (p, id) = demo_program(10_000, 2);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.map_nest(&p, id, &DataEnv::new());
         let plan = FaultPlan::random(
             42,
@@ -794,7 +854,7 @@ mod tests {
             FaultCounts { links: 3, mcs: 1, ..Default::default() },
         );
         let run = |platform: &Platform| {
-            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            let mut sim = Simulator::builder(platform.clone()).build().unwrap();
             sim.set_faults(&plan.final_state()).unwrap();
             sim.try_run_nest(&p, &mapping, &DataEnv::new()).unwrap()
         };
@@ -810,9 +870,9 @@ mod tests {
         use locmap_noc::FaultPlan;
         let (p, id) = demo_program(10_000, 2);
         let platform = Platform::paper_default(); // shared S-NUCA
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         let dead = platform.mesh.node_at(0, 0);
         sim.set_faults(&FaultPlan::new(platform.mesh, platform.mc_count()).dead_bank(dead).state_at(0))
             .unwrap();
@@ -827,9 +887,9 @@ mod tests {
     fn multi_nest_program_accumulates_time() {
         let (p, id) = demo_program(10_000, 2);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.map_nest(&p, id, &DataEnv::new());
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let r1 = sim.run_nest(&p, &mapping, &DataEnv::new());
         let r2 = sim.run_nest(&p, &mapping, &DataEnv::new());
         // Stats are deltas per run, not cumulative.
@@ -841,7 +901,7 @@ mod tests {
 #[cfg(test)]
 mod topology_tests {
     use super::*;
-    use locmap_core::{Compiler, MappingOptions};
+    use locmap_core::Compiler;
     use locmap_loopir::{Access, AffineExpr, AffineExpr as AE, LoopNest};
     use locmap_noc::TopologyKind;
 
@@ -860,16 +920,16 @@ mod topology_tests {
     fn torus_network_reduces_latency_for_default_mapping() {
         let (p, id) = corner_heavy_program();
         let platform = Platform::paper_default_with(LlcOrg::Private);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
         let data = DataEnv::new();
 
-        let mut mesh_sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut mesh_sim = Simulator::builder(platform.clone()).build().unwrap();
         let mesh = mesh_sim.run_nest(&p, &mapping, &data);
 
         let mut cfg = SimConfig::default();
         cfg.noc.topology = TopologyKind::Torus;
-        let mut torus_sim = Simulator::new(platform, cfg);
+        let mut torus_sim = Simulator::builder(platform).config(cfg).build().unwrap();
         let torus = torus_sim.run_nest(&p, &mapping, &data);
 
         assert!(
@@ -885,9 +945,9 @@ mod topology_tests {
     fn ideal_network_has_zero_latency_but_counts_messages() {
         let (p, id) = corner_heavy_program();
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform, SimConfig::ideal_network());
+        let mut sim = Simulator::builder(platform).config(SimConfig::ideal_network()).build().unwrap();
         let r = sim.run_nest(&p, &mapping, &DataEnv::new());
         assert_eq!(r.network.avg_latency(), 0.0);
         assert!(r.network.messages > 0);
@@ -903,9 +963,9 @@ mod topology_tests {
         nest.add_ref(a, locmap_loopir::AffineExpr::var(0, 8), Access::Write);
         let id = p.add_nest(nest);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         // Two passes: the second evicts dirty lines of the first.
         sim.run_nest(&p, &mapping, &DataEnv::new());
         let r = sim.run_nest(&p, &mapping, &DataEnv::new());

@@ -37,7 +37,7 @@ impl KnlMode {
 /// with shared (distributed) LLC, 4 MCs at the edge midpoints, and the
 /// mode's address hashing.
 pub fn knl_platform(mode: KnlMode) -> Platform {
-    let mesh = Mesh::new(6, 6);
+    let mesh = Mesh::try_new(6, 6).unwrap();
     let cfg = AddrMapConfig {
         page_bytes: 4096,
         line_bytes: 64,

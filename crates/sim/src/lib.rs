@@ -24,10 +24,10 @@
 //! let id = p.add_nest(nest);
 //!
 //! let platform = Platform::paper_default();
-//! let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+//! let compiler = Compiler::builder(platform.clone()).build().unwrap();
 //! let mapping = compiler.map_nest(&p, id, &DataEnv::new());
 //!
-//! let mut sim = Simulator::new(platform, SimConfig::default());
+//! let mut sim = Simulator::builder(platform).build().unwrap();
 //! let result = sim.run_nest(&p, &mapping, &DataEnv::new());
 //! assert!(result.cycles > 0);
 //! ```
@@ -43,8 +43,23 @@ mod result;
 mod viz;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{Simulator, SimulatorBuilder};
 pub use knl::{knl_platform, KnlMode};
-pub use multi::{run_multiprogram, MultiprogramResult, Slot};
+pub use multi::{run_multiprogram, run_multiprogram_parallel, MultiprogramResult, Slot};
 pub use result::RunResult;
 pub use viz::{ascii_heatmap, core_load_map, router_pressure};
+
+/// One-line import for mapping *and* simulating.
+///
+/// Extends `locmap_core::prelude` (platform, compiler, session, fault and
+/// error types) with this crate's machine types; examples and integration
+/// tests that drive the simulator need only this one glob.
+pub mod prelude {
+    pub use crate::config::SimConfig;
+    pub use crate::engine::{Simulator, SimulatorBuilder};
+    pub use crate::multi::{
+        run_multiprogram, run_multiprogram_parallel, MultiprogramResult, Slot,
+    };
+    pub use crate::result::RunResult;
+    pub use locmap_core::prelude::*;
+}

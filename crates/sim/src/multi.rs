@@ -6,13 +6,16 @@
 //! round-robin, so applications genuinely contend for links and banks in
 //! time — the effect the co-run experiment measures.
 
+use crate::config::SimConfig;
 use crate::engine::{Level, Simulator};
-use locmap_core::NestMapping;
+use locmap_core::{NestMapping, Platform};
 use locmap_loopir::{Access, DataEnv, IterationSpace, Program};
 use locmap_mem::Access as MemAccess;
+use locmap_noc::LocmapError;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One co-running application.
 #[derive(Debug)]
@@ -154,11 +157,97 @@ pub fn run_multiprogram(sim: &mut Simulator, slots: &[Slot<'_>]) -> Multiprogram
     }
 }
 
+/// Runs each slot *independently* — its own machine, no cross-slot
+/// contention — fanning the simulations out over `threads` scoped worker
+/// threads, and merges the per-slot results deterministically.
+///
+/// This models space-shared tenants (each job gets the whole chip for its
+/// time slice), the complement of [`run_multiprogram`]'s time-shared
+/// co-run where slots contend for links and banks. Because every slot's
+/// simulation is self-contained and the merge folds results in slot order,
+/// the output is bit-identical for any worker count:
+///
+/// * `app_cycles[i]` — completion cycles of slot `i` on its own machine;
+/// * `total_cycles` — max over slots (the batch makespan);
+/// * `avg_net_latency` — message-weighted mean over all slots' traffic
+///   (network counters are summed before dividing, not averaged).
+///
+/// Returns the first slot's error (in slot order) if the machine cannot be
+/// built from `cfg`.
+pub fn run_multiprogram_parallel(
+    platform: &Platform,
+    cfg: SimConfig,
+    slots: &[Slot<'_>],
+    threads: usize,
+) -> Result<MultiprogramResult, LocmapError> {
+    struct SlotOutcome {
+        cycles: u64,
+        messages: u64,
+        total_latency: u64,
+    }
+
+    let run_slot = |slot: &Slot<'_>| -> Result<SlotOutcome, LocmapError> {
+        let mut sim = Simulator::builder(platform.clone()).config(cfg).build()?;
+        let r = run_multiprogram(&mut sim, std::slice::from_ref(slot));
+        let net = sim.net_stats();
+        Ok(SlotOutcome {
+            cycles: r.total_cycles,
+            messages: net.messages,
+            total_latency: net.total_latency,
+        })
+    };
+
+    let workers = threads.min(slots.len()).max(1);
+    let mut outcomes: Vec<Option<Result<SlotOutcome, LocmapError>>> = if workers == 1 {
+        slots.iter().map(|s| Some(run_slot(s))).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Result<SlotOutcome, LocmapError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= slots.len() {
+                                    break;
+                                }
+                                local.push((i, run_slot(&slots[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("corun worker panicked")).collect()
+            });
+        let mut by_slot: Vec<Option<Result<SlotOutcome, LocmapError>>> =
+            (0..slots.len()).map(|_| None).collect();
+        for (i, r) in collected.into_iter().flatten() {
+            by_slot[i] = Some(r);
+        }
+        by_slot
+    };
+
+    let mut result = MultiprogramResult::default();
+    let (mut messages, mut latency) = (0u64, 0u64);
+    for outcome in outcomes.iter_mut() {
+        let o = outcome.take().expect("every slot index was claimed exactly once")?;
+        result.app_cycles.push(o.cycles);
+        result.total_cycles = result.total_cycles.max(o.cycles);
+        messages += o.messages;
+        latency += o.total_latency;
+    }
+    result.avg_net_latency =
+        if messages == 0 { 0.0 } else { latency as f64 / messages as f64 };
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SimConfig;
-    use locmap_core::{Compiler, MappingOptions, Platform};
+    use locmap_core::{Compiler, Platform};
     use locmap_loopir::{AffineExpr, LoopNest};
 
     fn app(name: &str, elems: u64) -> (Program, locmap_loopir::NestId) {
@@ -175,7 +264,7 @@ mod tests {
     #[test]
     fn corun_two_apps() {
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let (p1, id1) = app("a", 8000);
         let (p2, id2) = app("b", 8000);
         let d = DataEnv::new();
@@ -183,7 +272,7 @@ mod tests {
         // Baseline: both default-mapped.
         let m1d = compiler.default_mapping(&p1, id1);
         let m2d = compiler.default_mapping(&p2, id2);
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         let base = run_multiprogram(
             &mut sim,
             &[
@@ -197,7 +286,7 @@ mod tests {
         // Optimized: both location-aware.
         let m1 = compiler.map_nest(&p1, id1, &d);
         let m2 = compiler.map_nest(&p2, id2, &d);
-        let mut sim2 = Simulator::new(platform, SimConfig::default());
+        let mut sim2 = Simulator::builder(platform).build().unwrap();
         let opt = run_multiprogram(
             &mut sim2,
             &[
@@ -211,20 +300,59 @@ mod tests {
     #[test]
     fn single_slot_matches_run_nest_shape() {
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let (p, id) = app("solo", 4000);
         let d = DataEnv::new();
         let m = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let r = run_multiprogram(&mut sim, &[Slot { program: &p, mapping: &m, data: &d }]);
         assert_eq!(r.app_cycles.len(), 1);
         assert_eq!(r.app_cycles[0], r.total_cycles);
     }
 
     #[test]
+    fn parallel_corun_is_worker_count_invariant() {
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let d = DataEnv::new();
+        let apps: Vec<_> = (0..3).map(|i| app(&format!("a{i}"), 4000 + 1000 * i)).collect();
+        let mappings: Vec<_> = apps.iter().map(|(p, id)| compiler.map_nest(p, *id, &d)).collect();
+        let slots: Vec<Slot<'_>> = apps
+            .iter()
+            .zip(&mappings)
+            .map(|((p, _), m)| Slot { program: p, mapping: m, data: &d })
+            .collect();
+
+        let cfg = SimConfig::default();
+        let r1 = run_multiprogram_parallel(&platform, cfg, &slots, 1).unwrap();
+        let r4 = run_multiprogram_parallel(&platform, cfg, &slots, 4).unwrap();
+        assert_eq!(r1.app_cycles, r4.app_cycles, "worker count changed the result");
+        assert_eq!(r1.total_cycles, r4.total_cycles);
+        assert_eq!(r1.avg_net_latency.to_bits(), r4.avg_net_latency.to_bits());
+        assert_eq!(r1.total_cycles, r1.app_cycles.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn parallel_corun_single_slot_matches_isolated_run() {
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let (p, id) = app("iso", 6000);
+        let d = DataEnv::new();
+        let m = compiler.map_nest(&p, id, &d);
+        let slots = [Slot { program: &p, mapping: &m, data: &d }];
+
+        let par =
+            run_multiprogram_parallel(&platform, SimConfig::default(), &slots, 2).unwrap();
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let serial = run_multiprogram(&mut sim, &slots);
+        assert_eq!(par.app_cycles, serial.app_cycles);
+        assert_eq!(par.total_cycles, serial.total_cycles);
+    }
+
+    #[test]
     fn empty_corun_is_zero() {
         let platform = Platform::paper_default();
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let r = run_multiprogram(&mut sim, &[]);
         assert_eq!(r.total_cycles, 0);
     }

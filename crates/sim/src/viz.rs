@@ -64,13 +64,13 @@ pub fn core_load_map(mesh: Mesh, mapping: &NestMapping) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SimConfig;
-    use locmap_core::{Compiler, MappingOptions, Platform};
+    
+    use locmap_core::{Compiler, Platform};
     use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
 
     #[test]
     fn heatmap_shapes_and_scales() {
-        let mesh = Mesh::new(3, 2);
+        let mesh = Mesh::try_new(3, 2).unwrap();
         let mut v = vec![0.0; 6];
         v[0] = 10.0;
         v[5] = 5.0;
@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn zero_heatmap_is_dots() {
-        let mesh = Mesh::new(2, 2);
+        let mesh = Mesh::try_new(2, 2).unwrap();
         let map = ascii_heatmap(mesh, &[0.0; 4], "z");
         assert_eq!(map.matches('.').count(), 4);
     }
@@ -92,7 +92,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn wrong_length_panics() {
-        ascii_heatmap(Mesh::new(2, 2), &[1.0; 3], "bad");
+        ascii_heatmap(Mesh::try_new(2, 2).unwrap(), &[1.0; 3], "bad");
     }
 
     #[test]
@@ -103,9 +103,9 @@ mod tests {
         nest.add_ref(a, AffineExpr::var(0, 8), Access::Read);
         let id = p.add_nest(nest);
         let platform = Platform::paper_default();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
-        let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
         sim.run_nest(&p, &mapping, &DataEnv::new());
 
         let pressure = router_pressure(&sim);

@@ -5,8 +5,8 @@
 //! cargo run --release -p locmap-bench --example knl_modes
 //! ```
 
-use locmap_core::{Compiler, MappingOptions};
-use locmap_sim::{knl_platform, KnlMode, SimConfig, Simulator};
+use locmap_sim::prelude::*;
+use locmap_sim::{knl_platform, KnlMode};
 use locmap_workloads::{build, Scale};
 
 fn main() {
@@ -16,14 +16,14 @@ fn main() {
     let mut reference = None;
     for mode in [KnlMode::AllToAll, KnlMode::Quadrant, KnlMode::Snc4] {
         let platform = knl_platform(mode);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         for optimized in [false, true] {
             let mapping = if optimized {
                 compiler.map_nest(&w.program, nest_id, &w.data)
             } else {
                 compiler.default_mapping(&w.program, nest_id)
             };
-            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            let mut sim = Simulator::builder(platform.clone()).build().unwrap();
             sim.run_nest(&w.program, &mapping, &w.data); // warm
             let r = sim.run_nest(&w.program, &mapping, &w.data);
             let reference_cycles = *reference.get_or_insert(r.cycles);

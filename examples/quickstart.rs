@@ -5,9 +5,7 @@
 //! cargo run --release -p locmap-bench --example quickstart
 //! ```
 
-use locmap_core::{Compiler, MappingOptions, Platform};
-use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
-use locmap_sim::{RunResult, SimConfig, Simulator};
+use locmap_sim::prelude::*;
 
 fn main() {
     // 1. Describe the computation: for i { A[i] = B[i] + C[i] + D[i] }
@@ -29,7 +27,7 @@ fn main() {
     let platform = Platform::paper_default();
 
     // 3. Run the location-aware mapping pass.
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let data = DataEnv::new();
     let optimized = compiler.map_nest(&program, nest_id, &data);
     let default = compiler.default_mapping(&program, nest_id);
@@ -41,9 +39,9 @@ fn main() {
     );
 
     // 4. Simulate both schedules on the same machine model.
-    let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+    let mut sim = Simulator::builder(platform.clone()).build().unwrap();
     let base = sim.run_nest(&program, &default, &data);
-    let mut sim = Simulator::new(platform, SimConfig::default());
+    let mut sim = Simulator::builder(platform).build().unwrap();
     let opt = sim.run_nest(&program, &optimized, &data);
 
     println!(

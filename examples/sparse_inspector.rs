@@ -10,15 +10,14 @@
 //! cargo run --release -p locmap-bench --example sparse_inspector
 //! ```
 
-use locmap_core::{Compiler, Inspector, InspectorCostModel, MappingOptions, Platform};
-use locmap_loopir::DataEnv;
-use locmap_sim::{RunResult, SimConfig, Simulator};
+use locmap_core::{Inspector, InspectorCostModel};
+use locmap_sim::prelude::*;
 use locmap_workloads::{build, Scale};
 
 fn main() {
     let w = build("hpccg", Scale::default());
     let platform = Platform::paper_default();
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let nest_id = w.program.nest_ids().next().expect("workload has a nest");
 
     // Compile time: the index array is opaque — the pass defers.
@@ -27,7 +26,7 @@ fn main() {
 
     // Timing iteration 1: default mapping, profiled.
     let default = compiler.default_mapping(&w.program, nest_id);
-    let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+    let mut sim = Simulator::builder(platform.clone()).build().unwrap();
     let profile = sim.run_nest(&w.program, &default, &w.data);
     println!(
         "profiling pass: {} cycles, LLC hit rate {:.2}",
@@ -49,7 +48,7 @@ fn main() {
     let executor = sim.run_nest(&w.program, &report.mapping, &w.data);
 
     // Reference: what the remaining passes would cost without the switch.
-    let mut ref_sim = Simulator::new(platform, SimConfig::default());
+    let mut ref_sim = Simulator::builder(platform).build().unwrap();
     ref_sim.run_nest(&w.program, &default, &w.data);
     let base = ref_sim.run_nest(&w.program, &default, &w.data);
 

@@ -11,11 +11,10 @@
 
 use locmap_cme::{CmeConfig, CmeEstimator};
 use locmap_core::{
-    compute_cai, compute_mai, AffinityInputs, Cac, CacPolicy, CmeModel, Compiler, Mac, MacPolicy,
-    MappingOptions, Platform,
+    compute_cai, compute_mai, AffinityInputs, Cac, CacPolicy, CmeModel, Mac, MacPolicy,
 };
-use locmap_loopir::{DataEnv, DependenceTest, IterationSpace, Program, ReuseAnalysis};
-use locmap_sim::{RunResult, SimConfig, Simulator};
+use locmap_loopir::{DependenceTest, IterationSpace, ReuseAnalysis};
+use locmap_sim::prelude::*;
 use locmap_workloads::{build, Scale};
 
 fn main() {
@@ -61,15 +60,15 @@ fn main() {
     println!("CAC(R5)    = {}", cac.of(locmap_noc::RegionId(4)));
 
     // --- Full pass + simulation.
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let nest_id = program.nest_ids().next().expect("program has a nest");
     let optimized = compiler.map_nest(program, nest_id, &w.data);
     let default = compiler.default_mapping(program, nest_id);
 
-    let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+    let mut sim = Simulator::builder(platform.clone()).build().unwrap();
     sim.run_nest(program, &default, &w.data); // warm
     let base = sim.run_nest(program, &default, &w.data);
-    let mut sim = Simulator::new(platform, SimConfig::default());
+    let mut sim = Simulator::builder(platform).build().unwrap();
     sim.run_nest(program, &optimized, &w.data); // warm
     let opt = sim.run_nest(program, &optimized, &w.data);
 

@@ -1,0 +1,76 @@
+//! Back-compat coverage for the deprecated constructors.
+//!
+//! `Compiler::new`, `Compiler::new_degraded`, `Simulator::new`,
+//! `Mesh::new` and `RegionGrid::new` are deprecated shims over the builder
+//! and `try_new` APIs, but they are still public: code written against the
+//! old API must keep compiling and must produce bit-identical results to
+//! the replacements it is steered toward. This file is the one place in
+//! the workspace allowed to call them — everything else builds under
+//! `-D deprecated` in CI.
+
+#![allow(deprecated)]
+
+use locmap_core::prelude::*;
+use locmap_core::MappingOptions;
+use locmap_sim::prelude::*;
+
+fn fig5_program() -> (Program, NestId) {
+    let mut p = Program::new("compat");
+    let a = p.add_array("A", 8, 4096);
+    let b = p.add_array("B", 8, 4096);
+    let mut nest = LoopNest::rectangular("n", &[4096]);
+    nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+    nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+    let id = p.add_nest(nest);
+    (p, id)
+}
+
+#[test]
+fn compiler_new_matches_builder() {
+    let (p, id) = fig5_program();
+    let platform = Platform::paper_default();
+    let old = Compiler::new(platform.clone(), MappingOptions::default());
+    let new = Compiler::builder(platform).build().unwrap();
+    assert_eq!(old.map_nest(&p, id, &DataEnv::new()), new.map_nest(&p, id, &DataEnv::new()));
+}
+
+#[test]
+fn compiler_new_degraded_matches_builder_with_faults() {
+    let (p, id) = fig5_program();
+    let platform = Platform::paper_default();
+    let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+        .dead_router(NodeId(7))
+        .final_state();
+    let old =
+        Compiler::new_degraded(platform.clone(), MappingOptions::default(), &state).unwrap();
+    let new = Compiler::builder(platform).faults(&state).build().unwrap();
+    assert_eq!(old.map_nest(&p, id, &DataEnv::new()), new.map_nest(&p, id, &DataEnv::new()));
+}
+
+#[test]
+fn simulator_new_matches_builder() {
+    let (p, id) = fig5_program();
+    let platform = Platform::paper_default();
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
+    let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+
+    let mut old = Simulator::new(platform.clone(), SimConfig::default());
+    let mut new = Simulator::builder(platform).build().unwrap();
+    let (r_old, r_new) =
+        (old.run_nest(&p, &mapping, &DataEnv::new()), new.run_nest(&p, &mapping, &DataEnv::new()));
+    assert_eq!(r_old.cycles, r_new.cycles);
+    assert_eq!(r_old.network.total_latency, r_new.network.total_latency);
+}
+
+#[test]
+fn panicking_constructors_match_try_new() {
+    assert_eq!(Mesh::new(6, 6), Mesh::try_new(6, 6).unwrap());
+    let mesh = Mesh::try_new(6, 6).unwrap();
+    assert_eq!(RegionGrid::new(mesh, 3, 3), RegionGrid::try_new(mesh, 3, 3).unwrap());
+}
+
+#[test]
+#[should_panic]
+fn mesh_new_still_panics_on_invalid_sizes() {
+    let _ = Mesh::new(0, 6);
+}

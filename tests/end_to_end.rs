@@ -2,9 +2,8 @@
 //! across LLC organizations, schemes and platforms.
 
 use locmap_bench::{evaluate, Experiment, Scheme};
-use locmap_core::{Compiler, LlcOrg, MappingOptions, Platform};
-use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
-use locmap_sim::{knl_platform, KnlMode, SimConfig, Simulator};
+use locmap_sim::prelude::*;
+use locmap_sim::{knl_platform, KnlMode};
 use locmap_workloads::{build, Scale, Table3Info, Workload};
 
 /// A deliberately MC-structured stream: one access per cache line, so
@@ -121,9 +120,9 @@ fn knl_modes_differ_and_optimization_helps_all_to_all() {
     let mut cycles = Vec::new();
     for mode in [KnlMode::AllToAll, KnlMode::Quadrant, KnlMode::Snc4] {
         let platform = knl_platform(mode);
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&w.program, nid);
-        let mut sim = Simulator::new(platform, SimConfig::default());
+        let mut sim = Simulator::builder(platform).build().unwrap();
         let r = sim.run_nest(&w.program, &mapping, &w.data);
         cycles.push(r.cycles);
     }
@@ -135,19 +134,19 @@ fn knl_modes_differ_and_optimization_helps_all_to_all() {
 fn mesh_sizes_other_than_6x6_work_end_to_end() {
     use locmap_mem::{AddrMap, AddrMapConfig};
     use locmap_noc::{McPlacement, Mesh, RegionGrid};
-    let mesh = Mesh::new(4, 4);
+    let mesh = Mesh::try_new(4, 4).unwrap();
     let platform = Platform {
         mesh,
-        regions: RegionGrid::new(mesh, 2, 2),
+        regions: RegionGrid::try_new(mesh, 2, 2).unwrap(),
         mc_coords: McPlacement::Corners.coords(mesh),
         addr_map: AddrMap::new(AddrMapConfig::paper_default(16)),
         llc: LlcOrg::SharedSNuca,
     };
     let w = structured(15);
     let nid = w.program.nest_ids().next().unwrap();
-    let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+    let compiler = Compiler::builder(platform.clone()).build().unwrap();
     let mapping = compiler.map_nest(&w.program, nid, &w.data);
-    let mut sim = Simulator::new(platform, SimConfig::default());
+    let mut sim = Simulator::builder(platform).build().unwrap();
     let r = sim.run_nest(&w.program, &mapping, &w.data);
     assert!(r.cycles > 0);
     assert!(mapping.assignment.iter().all(|c| c.index() < 16));

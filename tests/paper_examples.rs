@@ -2,12 +2,12 @@
 //! Table 2, and the Figure 6 affinity vectors, driven end-to-end through
 //! the public APIs.
 
+use locmap_core::prelude::*;
 use locmap_core::{
     compute_cai, compute_mai, AffinityInputs, AffinityVec, Cac, CacPolicy, HitModel, Mac,
-    MacPolicy, MeasuredRates, Platform,
+    MacPolicy, MeasuredRates,
 };
-use locmap_loopir::{Access, AffineExpr, DataEnv, IterationSpace, LoopNest, Program};
-use locmap_noc::RegionId;
+use locmap_loopir::IterationSpace;
 
 /// Builds the Figure 5 loop with four arrays that land on four different
 /// pages (hence four different MCs under page-interleaving).

@@ -1,17 +1,17 @@
 //! Property-based invariants across crates, driven by proptest.
 
+use locmap_core::prelude::*;
 use locmap_core::{
-    assign_private, balance_regions, place_in_regions, AffinityVec, Cac, CacPolicy, Compiler,
-    EtaMetric, Mac, MacPolicy, MappingOptions, Platform, PlacementPolicy,
+    assign_private, balance_regions, place_in_regions, AffinityVec, Cac, CacPolicy, EtaMetric,
+    Mac, MacPolicy, PlacementPolicy,
 };
 use locmap_noc::{
-    link_target, route_faulty, route_xy, FaultCounts, FaultPlan, Mesh, MessageKind, Network,
-    NocConfig, NodeId, RegionGrid, RegionId, RouteError,
+    link_target, route_faulty, route_xy, FaultCounts, MessageKind, Network, NocConfig, RouteError,
 };
 use proptest::prelude::*;
 
 fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    (2u16..=9, 2u16..=9).prop_map(|(w, h)| Mesh::new(w, h))
+    (2u16..=9, 2u16..=9).prop_map(|(w, h)| Mesh::try_new(w, h).unwrap())
 }
 
 fn arb_affinity(m: usize) -> impl Strategy<Value = AffinityVec> {
@@ -78,7 +78,7 @@ proptest! {
     fn balancing_preserves_sets_and_bounds_loads(
         seed_regions in proptest::collection::vec(0u16..9, 1..200)
     ) {
-        let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+        let grid = RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap());
         let mut assignment: Vec<RegionId> = seed_regions.iter().map(|&r| RegionId(r)).collect();
         let before = assignment.len();
         balance_regions(&mut assignment, &grid, &|_, _| 0.0);
@@ -97,7 +97,7 @@ proptest! {
         seed_regions in proptest::collection::vec(0u16..9, 1..150),
         seed in 0u64..1000
     ) {
-        let grid = RegionGrid::paper_default(Mesh::new(6, 6));
+        let grid = RegionGrid::paper_default(Mesh::try_new(6, 6).unwrap());
         let assignment: Vec<RegionId> = seed_regions.iter().map(|&r| RegionId(r)).collect();
         let placement = place_in_regions(&assignment, &grid, PlacementPolicy::Random { seed });
         for (s, core) in placement.iter().enumerate() {
@@ -118,9 +118,9 @@ proptest! {
 
     #[test]
     fn mac_cac_masses_are_unit(cols in 1u16..=6, rows in 1u16..=6) {
-        let mesh = Mesh::new(6, 6);
+        let mesh = Mesh::try_new(6, 6).unwrap();
         let mut platform = Platform::paper_default();
-        platform.regions = RegionGrid::new(mesh, cols, rows);
+        platform.regions = RegionGrid::try_new(mesh, cols, rows).unwrap();
         let mac = Mac::compute(&platform, MacPolicy::NearestSet);
         let cac = Cac::compute(&platform, CacPolicy::default());
         for v in mac.vectors() {
@@ -169,7 +169,7 @@ proptest! {
     #[test]
     fn faulted_simulation_is_bit_for_bit_deterministic(seed in 0u64..2_000) {
         use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
-        use locmap_sim::{SimConfig, Simulator};
+        use locmap_sim::Simulator;
 
         let platform = Platform::paper_default();
         let counts = FaultCounts { links: 2, banks: 1, ..FaultCounts::default() };
@@ -183,13 +183,13 @@ proptest! {
         nest.add_ref(arr, AffineExpr::var(0, 8), Access::Read);
         let id = p.add_nest(nest);
         let data = DataEnv::new();
-        let compiler = Compiler::new(platform.clone(), MappingOptions::default());
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
         let mapping = compiler.default_mapping(&p, id);
 
         // Two identical constructions must agree completely: both reject
         // the fault state with the same error, or produce identical runs.
         let run = || -> Result<(u64, u64, u64), String> {
-            let mut sim = Simulator::new(platform.clone(), SimConfig::default());
+            let mut sim = Simulator::builder(platform.clone()).build().unwrap();
             sim.set_faults(&state).map_err(|e| e.to_string())?;
             let r = sim.try_run_nest(&p, &mapping, &data).map_err(|e| e.to_string())?;
             Ok((r.cycles, r.network.total_latency, r.network.messages))
@@ -207,5 +207,109 @@ proptest! {
         let s = c.stats();
         prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
         prop_assert!(c.resident_lines() <= 64);
+    }
+}
+
+proptest! {
+    /// The contract the batch engine is allowed to parallelize under: any
+    /// worker count produces exactly the mappings a serial
+    /// `Compiler::map_nest` loop would, and in-flight dedup means every
+    /// distinct key is computed exactly once regardless of racing.
+    #[test]
+    fn batch_mapping_is_worker_count_invariant(
+        sizes in proptest::collection::vec(512u64..4096, 1..5),
+        repeats in 1usize..4,
+        threads in 2usize..6,
+    ) {
+        let platform = Platform::paper_default();
+        let apps: Vec<(Program, NestId)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut p = Program::new(format!("app{i}"));
+                let a = p.add_array("A", 8, n);
+                let b = p.add_array("B", 8, n);
+                let mut nest = LoopNest::rectangular("n", &[n as i64]);
+                nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+                nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+                let id = p.add_nest(nest);
+                (p, id)
+            })
+            .collect();
+        let data = DataEnv::new();
+        let reqs: Vec<MapRequest<'_>> = (0..repeats)
+            .flat_map(|_| {
+                apps.iter().map(|(p, id)| MapRequest { program: p, nest: *id, data: &data })
+            })
+            .collect();
+
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let serial: Vec<NestMapping> =
+            reqs.iter().map(|r| compiler.map_nest(r.program, r.nest, r.data)).collect();
+
+        let one = MappingSession::builder(platform.clone()).threads(1).build().unwrap();
+        let many = MappingSession::builder(platform).threads(threads).build().unwrap();
+        let out1 = one.map_batch(&reqs);
+        let outn = many.map_batch(&reqs);
+
+        for ((s, a), b) in serial.iter().zip(&out1).zip(&outn) {
+            prop_assert_eq!(s, &a.mapping, "1-worker session != serial map_nest");
+            prop_assert_eq!(&a.mapping, &b.mapping, "worker count changed a mapping");
+        }
+        for stats in [one.cache_stats().mappings, many.cache_stats().mappings] {
+            prop_assert_eq!(stats.hits + stats.misses, reqs.len() as u64);
+            prop_assert_eq!(
+                stats.misses as usize, stats.entries,
+                "each distinct key must be computed exactly once"
+            );
+        }
+    }
+
+    /// Changing the fault state bumps the epoch: cached mappings become
+    /// unreachable (the new mapping matches a degraded compiler exactly),
+    /// CME estimates survive, and clearing faults restores the fault-free
+    /// mapping bit for bit.
+    #[test]
+    fn fault_epoch_invalidates_mappings_and_spares_estimates(
+        elems in 1024u64..4096,
+        router in 0u16..36,
+    ) {
+        let platform = Platform::paper_default();
+        let mut p = Program::new("epoch-prop");
+        let a = p.add_array("A", 8, elems);
+        let b = p.add_array("B", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let data = DataEnv::new();
+        let req = [MapRequest { program: &p, nest: id, data: &data }];
+
+        let mut session = MappingSession::builder(platform.clone()).build().unwrap();
+        let clean = session.map_batch(&req)[0].mapping.clone();
+
+        let state = FaultPlan::new(platform.mesh, platform.mc_coords.len())
+            .dead_router(NodeId(router))
+            .final_state();
+        // Some routers cannot die without invalidating the platform; the
+        // builder refusing them is its own (tested) contract — only live
+        // degraded configurations exercise the epoch machinery.
+        if session.set_faults(&state).is_ok() {
+            prop_assert_eq!(session.epoch(), 1);
+
+            let degraded = session.map_batch(&req);
+            prop_assert!(!degraded[0].cache_hit, "epoch bump must invalidate the mapping");
+            let dc = Compiler::builder(platform.clone()).faults(&state).build().unwrap();
+            prop_assert_eq!(&degraded[0].mapping, &dc.map_nest(&p, id, &data));
+            prop_assert_eq!(
+                session.cache_stats().cme.hits, 1,
+                "the CME estimate must survive the epoch bump"
+            );
+
+            session.clear_faults();
+            let back = session.map_batch(&req);
+            prop_assert!(!back[0].cache_hit);
+            prop_assert_eq!(&back[0].mapping, &clean, "fault-free mapping restored bit for bit");
+        }
     }
 }

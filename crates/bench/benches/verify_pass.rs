@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the static verifier (`locmap-verify`): the
+//! mapping-verification pass alone (the hot post-batch audit), the full
+//! default configuration, and the map+verify pipeline side by side with
+//! mapping alone — the overhead figure EXPERIMENTS.md reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locmap_core::{Compiler, Platform};
+use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
+use locmap_verify::{VerifyConfig, VerifyMapping};
+
+fn streaming_program(n: u64, refs: usize) -> Program {
+    let mut p = Program::new("bench");
+    let mut nest = LoopNest::rectangular("n", &[n as i64]).work(16);
+    for i in 0..refs {
+        let a = p.add_array(format!("A{i}"), 8, n);
+        let acc = if i == 0 { Access::Write } else { Access::Read };
+        nest.add_ref(a, AffineExpr::var(0, 1), acc);
+    }
+    p.add_nest(nest);
+    p
+}
+
+fn bench_verify_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_pass");
+    for &n in &[20_000u64, 100_000] {
+        let p = streaming_program(n, 4);
+        let id = locmap_loopir::NestId(0);
+        let compiler = Compiler::builder(Platform::paper_default()).build().unwrap();
+        let data = DataEnv::new();
+        let mapping = compiler.map_nest(&p, id, &data);
+
+        let mapping_only = VerifyConfig::mapping_only();
+        g.bench_function(format!("mapping pass n={n}"), |b| {
+            b.iter(|| compiler.verify_mapping(&p, id, &data, &mapping, &mapping_only))
+        });
+
+        let no_routing = VerifyConfig { routing: false, ..VerifyConfig::default() };
+        g.bench_function(format!("nests+vectors+mapping n={n}"), |b| {
+            b.iter(|| compiler.verify_mapping(&p, id, &data, &mapping, &no_routing))
+        });
+
+        g.bench_function(format!("map_nest alone n={n}"), |b| {
+            b.iter(|| compiler.map_nest(&p, id, &data))
+        });
+        g.bench_function(format!("map_nest + verify n={n}"), |b| {
+            b.iter(|| {
+                let m = compiler.map_nest(&p, id, &data);
+                compiler.verify_mapping(&p, id, &data, &m, &mapping_only)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    use locmap_verify::{routing, DiagnosticSink};
+    let platform = Platform::paper_default();
+    c.bench_function("verify_pass/topology 6x6", |b| {
+        b.iter(|| {
+            let mut sink = DiagnosticSink::new();
+            routing::check_topology(&platform, &mut sink);
+            sink
+        })
+    });
+}
+
+criterion_group!(benches, bench_verify_mapping, bench_topology);
+criterion_main!(benches);

@@ -31,6 +31,11 @@ USAGE:
   locmap batch [--threads N] [--repeats N] [--apps a,b,...] [--llc L] [--scale F]
                                           batch-mapping throughput (defaults: 4
                                           threads, 4 repeats, stencil suite)
+  locmap verify [--apps a,b,...] [--llc L] [--scale F] [--seed N]
+                [--dead-mcs N] [--dead-links N] [--dead-routers N] [--dead-banks N]
+                                          static verifier over workload mappings
+                                          (default: every benchmark); exits
+                                          nonzero on any Deny-level diagnostic
 
 SCHEMES: default | la | ideal | oracle | hardware | do | la+do
 
@@ -284,6 +289,81 @@ pub fn corun(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `locmap verify`: run the static verifier over workload mappings (and,
+/// when fault flags are given, a seed-deterministic fault plan's arms).
+/// Exits nonzero on any Deny-level diagnostic.
+pub fn verify(args: &Args) -> Result<(), String> {
+    use locmap_verify::{mapping, nests, routing, vectors, DiagnosticSink, VerifyConfig};
+
+    let app_names = args.apps_or(names())?;
+    for n in &app_names {
+        if !names().contains(n) {
+            return Err(format!("unknown benchmark {n:?}; see `locmap list`"));
+        }
+    }
+    let scale = args.scale()?;
+    let platform = Platform::paper_default_with(args.llc()?);
+    let counts = FaultCounts {
+        links: args.count("dead-links")?,
+        routers: args.count("dead-routers")?,
+        mcs: args.count("dead-mcs")?,
+        banks: args.count("dead-banks")?,
+    };
+    let faulty = counts.links + counts.routers + counts.mcs + counts.banks > 0;
+
+    let cfg = VerifyConfig::default();
+    let mut sink = DiagnosticSink::with_overrides(&cfg.overrides);
+
+    // Platform-wide passes run once: X-Y deadlock-freedom, and — under a
+    // fault plan — reachability across every arm of the plan.
+    routing::check_topology(&platform, &mut sink);
+    let compiler = if faulty {
+        let seed = args.seed()?;
+        let plan = FaultPlan::random(seed, platform.mesh, platform.mc_coords.len(), counts);
+        println!("fault plan : seed {seed}; {}", plan.summary());
+        routing::check_fault_plan(&platform, &plan, &mut sink);
+        Compiler::builder(platform.clone())
+            .faults(&plan.final_state())
+            .build()
+            .map_err(String::from)?
+    } else {
+        Compiler::builder(platform.clone()).build().map_err(String::from)?
+    };
+    vectors::check_platform_vectors(&compiler, &cfg, &mut sink);
+
+    let mut nests_checked = 0usize;
+    for name in &app_names {
+        let w = build(name, scale);
+        for nid in w.program.nest_ids().collect::<Vec<_>>() {
+            let before = sink.diagnostics().len();
+            nests::check_nest(&w.program, nid, &w.data, &mut sink);
+            let m = compiler.map_nest(&w.program, nid, &w.data);
+            vectors::check_mapping_vectors(&compiler, &m, &cfg, &mut sink);
+            mapping::check_mapping(&compiler, &w.program, nid, &w.data, &m, &cfg, &mut sink);
+            nests_checked += 1;
+            let found = sink.diagnostics().len() - before;
+            if found > 0 {
+                println!("{name} nest {}: {found} finding(s)", nid.0);
+            }
+        }
+    }
+
+    println!(
+        "verified   : {nests_checked} nests across {} workloads ({} deny, {} warn)",
+        app_names.len(),
+        sink.deny_count(),
+        sink.warn_count()
+    );
+    if !sink.diagnostics().is_empty() {
+        print!("{}", sink.report());
+    }
+    if sink.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} Deny-level diagnostic(s)", sink.deny_count()))
+    }
+}
+
 /// `locmap batch`.
 pub fn batch(args: &Args) -> Result<(), String> {
     let cfg = BatchConfig {
@@ -292,6 +372,7 @@ pub fn batch(args: &Args) -> Result<(), String> {
         llc: args.llc()?,
         threads: args.count_or("threads", 4)?,
         repeats: args.count_or("repeats", 4)?,
+        verify: true,
     };
     let report = run_throughput(&cfg).map_err(|e| e.to_string())?;
     report.print();

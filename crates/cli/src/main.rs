@@ -9,6 +9,7 @@
 //! locmap heat --app mxm [...]         router-pressure heatmaps
 //! locmap faults --app mxm [...]       fault-injection resilience report
 //! locmap batch [--threads N] [...]    batch-mapping throughput
+//! locmap verify [--apps a,b] [...]    static verifier over workload mappings
 //! ```
 
 mod args;
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("heat") => run(commands::heat, &argv[1..]),
         Some("faults") => run(commands::faults, &argv[1..]),
         Some("batch") => run(commands::batch, &argv[1..]),
+        Some("verify") => run(commands::verify, &argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             ExitCode::SUCCESS

@@ -135,6 +135,11 @@ struct DegradedInfo {
     /// (identity when region `j` has one) — evacuates assignments out of
     /// fully dead regions before balancing.
     core_region_redirect: Vec<RegionId>,
+    /// The *effective* fault state (router deaths folded onto co-located
+    /// banks and MCs) every table above was derived from, kept so external
+    /// tooling can audit the compiler against the exact machine picture it
+    /// mapped for.
+    state: FaultState,
 }
 
 impl DegradedInfo {
@@ -338,6 +343,7 @@ impl Compiler {
                 alive_cores,
                 alive_regions,
                 core_region_redirect,
+                state: eff,
             }),
         })
     }
@@ -345,6 +351,15 @@ impl Compiler {
     /// True when this compiler maps for a degraded (faulted) machine.
     pub fn is_degraded(&self) -> bool {
         self.degraded.is_some()
+    }
+
+    /// The effective [`FaultState`] this compiler maps around — the state
+    /// passed to the builder with router deaths folded onto co-located
+    /// banks and MCs (see [`FaultState::effective`]) — or `None` for a
+    /// fault-free compiler. External verifiers recompute redirect tables
+    /// and masks from this to audit the mapper.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.degraded.as_ref().map(|d| &d.state)
     }
 
     /// The platform description.

@@ -112,33 +112,100 @@ impl FaultPlan {
         &self.events
     }
 
-    /// Adds an arbitrary event.
-    pub fn push(&mut self, event: FaultEvent) -> &mut Self {
-        self.events.push(event);
-        self
+    /// True when `a` and `b` name the same physical component. The two
+    /// directions of one mesh channel are a single wire, so a link and its
+    /// [`reverse_link`] count as the same component.
+    fn same_component(&self, a: FaultComponent, b: FaultComponent) -> bool {
+        if a == b {
+            return true;
+        }
+        match (a, b) {
+            (FaultComponent::Link(l), FaultComponent::Link(r)) => {
+                l.from.index() < self.mesh.node_count() && reverse_link(self.mesh, l) == r
+            }
+            _ => false,
+        }
     }
 
-    /// Schedules a permanent link failure from cycle 0.
+    /// True when `link` is its own target (torus wrap on a 1-wide or
+    /// 1-tall mesh) — a self-referential channel that cannot exist.
+    fn is_self_loop(&self, link: Link) -> bool {
+        link.from.index() < self.mesh.node_count()
+            && link_target_torus(self.mesh, link) == self.mesh.coord_of(link.from)
+    }
+
+    /// Adds an arbitrary event, enforcing construction-time sanity:
+    ///
+    /// * a link whose source lies outside the mesh, or that loops back to
+    ///   its own source (torus wrap on a degenerate mesh), is rejected with
+    ///   a typed [`LocmapError::FaultConflict`];
+    /// * an event duplicating an already scheduled one — same physical
+    ///   component (a channel and its reverse are one wire) and the same
+    ///   injection/repair cycles — is silently dropped.
+    ///
+    /// Range and schedule checks for the remaining component kinds stay in
+    /// [`FaultPlan::validate`].
+    pub fn push(&mut self, event: FaultEvent) -> Result<&mut Self, LocmapError> {
+        if let FaultComponent::Link(l) = event.component {
+            if l.from.index() >= self.mesh.node_count() {
+                return Err(LocmapError::FaultConflict(format!(
+                    "link source {} outside {}",
+                    l.from, self.mesh
+                )));
+            }
+            if self.is_self_loop(l) {
+                return Err(LocmapError::FaultConflict(format!(
+                    "link {}:{:?} is self-referential on {}",
+                    l.from, l.dir, self.mesh
+                )));
+            }
+        }
+        let duplicate = self.events.iter().any(|e| {
+            self.same_component(e.component, event.component)
+                && e.inject_at == event.inject_at
+                && e.repair_at == event.repair_at
+        });
+        if !duplicate {
+            self.events.push(event);
+        }
+        Ok(self)
+    }
+
+    fn push_permanent(&mut self, component: FaultComponent) -> Result<(), LocmapError> {
+        self.push(FaultEvent { component, inject_at: 0, repair_at: None }).map(|_| ())
+    }
+
+    /// Schedules a permanent link failure from cycle 0. Duplicate entries
+    /// (including the reverse direction of an already dead channel) are
+    /// deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-mesh or self-referential link; use
+    /// [`FaultPlan::push`] for fallible construction.
     pub fn dead_link(mut self, link: Link) -> Self {
-        self.events.push(FaultEvent { component: FaultComponent::Link(link), inject_at: 0, repair_at: None });
+        self.push_permanent(FaultComponent::Link(link)).unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
-    /// Schedules a permanent router failure from cycle 0.
+    /// Schedules a permanent router failure from cycle 0 (duplicates are
+    /// deduplicated).
     pub fn dead_router(mut self, node: NodeId) -> Self {
-        self.events.push(FaultEvent { component: FaultComponent::Router(node), inject_at: 0, repair_at: None });
+        self.push_permanent(FaultComponent::Router(node)).expect("router events cannot fail");
         self
     }
 
-    /// Schedules a permanent memory-controller failure from cycle 0.
+    /// Schedules a permanent memory-controller failure from cycle 0
+    /// (duplicates are deduplicated).
     pub fn dead_mc(mut self, mc: usize) -> Self {
-        self.events.push(FaultEvent { component: FaultComponent::Mc(mc), inject_at: 0, repair_at: None });
+        self.push_permanent(FaultComponent::Mc(mc)).expect("MC events cannot fail");
         self
     }
 
-    /// Schedules a permanent LLC-bank failure from cycle 0.
+    /// Schedules a permanent LLC-bank failure from cycle 0 (duplicates are
+    /// deduplicated).
     pub fn dead_bank(mut self, node: NodeId) -> Self {
-        self.events.push(FaultEvent { component: FaultComponent::Bank(node), inject_at: 0, repair_at: None });
+        self.push_permanent(FaultComponent::Bank(node)).expect("bank events cannot fail");
         self
     }
 
@@ -211,9 +278,15 @@ impl FaultPlan {
         plan
     }
 
-    /// Checks the plan for internal consistency: components in range,
-    /// repairs after injections, no component scheduled twice, and at
-    /// least one memory controller alive in the permanent state.
+    /// Checks the plan for internal consistency: components in range, no
+    /// self-referential links, repairs after injections, no component
+    /// scheduled twice (a channel and its reverse direction count as one
+    /// component), and at least one memory controller alive in the
+    /// permanent state.
+    ///
+    /// [`FaultPlan::push`] and the `dead_*` constructors already enforce
+    /// the link-sanity and duplicate rules, so this mainly guards plans
+    /// that arrive through deserialization.
     pub fn validate(&self) -> Result<(), LocmapError> {
         let n = self.mesh.node_count();
         for (i, ev) in self.events.iter().enumerate() {
@@ -223,6 +296,12 @@ impl FaultPlan {
                         return Err(LocmapError::FaultConflict(format!(
                             "event {i}: link source {} outside {}",
                             l.from, self.mesh
+                        )));
+                    }
+                    if self.is_self_loop(l) {
+                        return Err(LocmapError::FaultConflict(format!(
+                            "event {i}: link {}:{:?} is self-referential on {}",
+                            l.from, l.dir, self.mesh
                         )));
                     }
                 }
@@ -252,7 +331,7 @@ impl FaultPlan {
                 }
             }
             for (j, other) in self.events.iter().enumerate().skip(i + 1) {
-                if ev.component == other.component {
+                if self.same_component(ev.component, other.component) {
                     return Err(LocmapError::FaultConflict(format!(
                         "events {i} and {j} both schedule {}",
                         ev.component
@@ -616,7 +695,8 @@ mod tests {
             component: FaultComponent::Mc(1),
             inject_at: 100,
             repair_at: Some(500),
-        });
+        })
+        .unwrap();
         assert!(plan.validate().is_ok());
         assert!(plan.state_at(99).mc_alive(1));
         assert!(!plan.state_at(100).mc_alive(1));
@@ -631,10 +711,16 @@ mod tests {
         let m = mesh();
         // Repair before injection.
         let mut plan = FaultPlan::new(m, 4);
-        plan.push(FaultEvent { component: FaultComponent::Mc(0), inject_at: 10, repair_at: Some(5) });
+        plan.push(FaultEvent { component: FaultComponent::Mc(0), inject_at: 10, repair_at: Some(5) })
+            .unwrap();
         assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
-        // Duplicate component.
-        let plan = FaultPlan::new(m, 4).dead_mc(1).dead_mc(1);
+        // Same component scheduled twice with *different* windows is not a
+        // duplicate for push (so both are stored) but is still a conflict.
+        let mut plan = FaultPlan::new(m, 4);
+        plan.push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 0, repair_at: None })
+            .unwrap()
+            .push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 5, repair_at: None })
+            .unwrap();
         assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
         // All MCs dead.
         let plan = FaultPlan::new(m, 2).dead_mc(0).dead_mc(1);
@@ -642,6 +728,68 @@ mod tests {
         // Out-of-range MC.
         let plan = FaultPlan::new(m, 4).dead_mc(9);
         assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+    }
+
+    #[test]
+    fn push_dedupes_exact_and_reverse_duplicates() {
+        let m = mesh();
+        // Exact duplicate of a non-link component: silently dropped.
+        let plan = FaultPlan::new(m, 4).dead_mc(1).dead_mc(1);
+        assert_eq!(plan.events().len(), 1);
+        assert!(plan.validate().is_ok());
+        // A channel and its reverse direction are one wire: the second
+        // entry is dropped and the plan stays valid.
+        let link = Link { from: m.node_at(2, 2), dir: Direction::East };
+        let rev = reverse_link(m, link);
+        let plan = FaultPlan::new(m, 4).dead_link(link).dead_link(rev).dead_link(link);
+        assert_eq!(plan.events().len(), 1);
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.final_state().dead_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn validate_rejects_reverse_link_duplicate_schedules() {
+        // Both directions of one wire with different windows slip past the
+        // push dedupe (they are not duplicates) but name one component.
+        let m = mesh();
+        let link = Link { from: m.node_at(1, 1), dir: Direction::South };
+        let mut plan = FaultPlan::new(m, 4);
+        plan.push(FaultEvent { component: FaultComponent::Link(link), inject_at: 0, repair_at: None })
+            .unwrap()
+            .push(FaultEvent {
+                component: FaultComponent::Link(reverse_link(m, link)),
+                inject_at: 7,
+                repair_at: None,
+            })
+            .unwrap();
+        assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+    }
+
+    #[test]
+    fn push_rejects_self_referential_links() {
+        // On a 1-wide mesh the East wrap of any node is the node itself.
+        let skinny = Mesh::try_new(1, 4).unwrap();
+        let loop_link = Link { from: skinny.node_at(0, 2), dir: Direction::East };
+        let mut plan = FaultPlan::new(skinny, 1);
+        let err = plan
+            .push(FaultEvent { component: FaultComponent::Link(loop_link), inject_at: 0, repair_at: None })
+            .unwrap_err();
+        assert!(matches!(err, LocmapError::FaultConflict(_)));
+        assert!(plan.events().is_empty());
+        // Out-of-mesh link sources are also rejected at construction.
+        let bad = Link { from: NodeId(99), dir: Direction::East };
+        let err = plan
+            .push(FaultEvent { component: FaultComponent::Link(bad), inject_at: 0, repair_at: None })
+            .unwrap_err();
+        assert!(matches!(err, LocmapError::FaultConflict(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-referential")]
+    fn dead_link_panics_on_self_loop() {
+        let skinny = Mesh::try_new(4, 1).unwrap();
+        let loop_link = Link { from: skinny.node_at(1, 0), dir: Direction::North };
+        let _ = FaultPlan::new(skinny, 1).dead_link(loop_link);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Extension traits hanging the verifier off the compiler types.
+//!
+//! `use locmap_verify::VerifyMapping;` gives [`Compiler`] a
+//! `verify_mapping` method, and `use locmap_verify::VerifySession;` gives
+//! [`MappingSession`] a `verify_batch` post-batch hook — the verifier
+//! stays an optional layer, so `locmap-core` never depends on it.
+
+use crate::config::VerifyConfig;
+use crate::diag::{Code, Diagnostic, DiagnosticSink};
+use crate::{mapping, nests, routing, vectors};
+use locmap_core::{Compiler, MapRequest, MapResponse, MappingSession, NestMapping};
+use locmap_loopir::{DataEnv, NestId, Program};
+use std::collections::HashMap;
+
+/// Post-mapping verification on a [`Compiler`].
+pub trait VerifyMapping {
+    /// Runs the configured verifier passes over `mapping` and returns the
+    /// collected diagnostics. A clean run returns an empty sink.
+    fn verify_mapping(
+        &self,
+        program: &Program,
+        nest: NestId,
+        data: &DataEnv,
+        mapping: &NestMapping,
+        cfg: &VerifyConfig,
+    ) -> DiagnosticSink;
+}
+
+impl VerifyMapping for Compiler {
+    fn verify_mapping(
+        &self,
+        program: &Program,
+        nest: NestId,
+        data: &DataEnv,
+        mapping: &NestMapping,
+        cfg: &VerifyConfig,
+    ) -> DiagnosticSink {
+        let mut sink = DiagnosticSink::with_overrides(&cfg.overrides);
+        if cfg.nests {
+            nests::check_nest(program, nest, data, &mut sink);
+        }
+        if cfg.vectors {
+            vectors::check_platform_vectors(self, cfg, &mut sink);
+            vectors::check_mapping_vectors(self, mapping, cfg, &mut sink);
+        }
+        if cfg.mapping {
+            mapping::check_mapping(self, program, nest, data, mapping, cfg, &mut sink);
+        }
+        if cfg.routing {
+            routing::check_topology(self.platform(), &mut sink);
+        }
+        sink
+    }
+}
+
+/// Post-batch verification on a [`MappingSession`].
+pub trait VerifySession {
+    /// Verifies the responses of one `map_batch` call against the requests
+    /// that produced them.
+    ///
+    /// Duplicate requests (the memo cache's bread and butter) are grouped:
+    /// one representative per group is fully verified and the rest are
+    /// checked for bit-identity with it — a divergent duplicate is exactly
+    /// what a stale memo entry looks like, and is reported as
+    /// [`Code::STALE_MAPPING`] without re-running the expensive passes.
+    /// Platform-level checks (MAC/CAC tables, topology) run once per call.
+    fn verify_batch(
+        &self,
+        requests: &[MapRequest<'_>],
+        responses: &[MapResponse],
+        cfg: &VerifyConfig,
+    ) -> DiagnosticSink;
+}
+
+impl VerifySession for MappingSession {
+    fn verify_batch(
+        &self,
+        requests: &[MapRequest<'_>],
+        responses: &[MapResponse],
+        cfg: &VerifyConfig,
+    ) -> DiagnosticSink {
+        let mut sink = DiagnosticSink::with_overrides(&cfg.overrides);
+        if requests.len() != responses.len() {
+            sink.emit(Diagnostic::new(
+                Code::SHAPE_MISMATCH,
+                format!("{} requests but {} responses", requests.len(), responses.len()),
+            ));
+            return sink;
+        }
+        let compiler = self.compiler();
+        if cfg.vectors {
+            vectors::check_platform_vectors(compiler, cfg, &mut sink);
+        }
+        if cfg.routing {
+            routing::check_topology(compiler.platform(), &mut sink);
+        }
+        // Group identical requests by the identity of their borrowed
+        // inputs; the first index of each group is the representative.
+        let mut groups: HashMap<(usize, u32, usize), usize> = HashMap::new();
+        for (i, (req, resp)) in requests.iter().zip(responses).enumerate() {
+            let key = (
+                req.program as *const Program as usize,
+                req.nest.0,
+                req.data as *const DataEnv as usize,
+            );
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                    if cfg.nests {
+                        nests::check_nest(req.program, req.nest, req.data, &mut sink);
+                    }
+                    if cfg.vectors {
+                        vectors::check_mapping_vectors(compiler, &resp.mapping, cfg, &mut sink);
+                    }
+                    if cfg.mapping {
+                        mapping::check_mapping(
+                            compiler,
+                            req.program,
+                            req.nest,
+                            req.data,
+                            &resp.mapping,
+                            cfg,
+                            &mut sink,
+                        );
+                    }
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let rep = *e.get();
+                    if responses[rep].mapping != resp.mapping {
+                        sink.emit(
+                            Diagnostic::new(
+                                Code::STALE_MAPPING,
+                                format!(
+                                    "response {i} diverges from response {rep} of the identical \
+                                     request — a stale or corrupted memo entry"
+                                ),
+                            )
+                            .suggest("clear the session's memo caches and re-run the batch"),
+                        );
+                    }
+                }
+            }
+        }
+        sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmap_core::{MappingSession, Platform};
+    use locmap_loopir::{Access, AffineExpr, LoopNest};
+
+    fn workload() -> (Program, NestId) {
+        let mut p = Program::new("w");
+        let n = 4096u64;
+        let a = p.add_array("A", 8, n);
+        let mut nest = LoopNest::rectangular("n", &[n as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    #[test]
+    fn compiler_extension_verifies_clean() {
+        let (p, id) = workload();
+        let data = DataEnv::new();
+        let c = Compiler::builder(Platform::paper_default()).build().unwrap();
+        let m = c.map_nest(&p, id, &data);
+        let sink = c.verify_mapping(&p, id, &data, &m, &VerifyConfig::default());
+        assert!(sink.diagnostics().is_empty(), "{}", sink.report());
+    }
+
+    #[test]
+    fn session_batch_verifies_clean_and_dedupes() {
+        let (p, id) = workload();
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let reqs = vec![MapRequest { program: &p, nest: id, data: &data }; 4];
+        let resps = session.map_batch(&reqs);
+        let sink = session.verify_batch(&reqs, &resps, &VerifyConfig::default());
+        assert!(sink.diagnostics().is_empty(), "{}", sink.report());
+    }
+
+    #[test]
+    fn divergent_duplicate_response_is_stale() {
+        let (p, id) = workload();
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let reqs = vec![MapRequest { program: &p, nest: id, data: &data }; 2];
+        let mut resps = session.map_batch(&reqs);
+        // Corrupt the duplicate only: same request, different answer.
+        resps[1].mapping.needs_inspector = true;
+        let sink = session.verify_batch(&reqs, &resps, &VerifyConfig::mapping_only());
+        assert!(sink.has(Code::STALE_MAPPING), "{}", sink.report());
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let (p, id) = workload();
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let reqs = vec![MapRequest { program: &p, nest: id, data: &data }];
+        let sink = session.verify_batch(&reqs, &[], &VerifyConfig::default());
+        assert!(sink.has(Code::SHAPE_MISMATCH), "{}", sink.report());
+    }
+}

@@ -313,3 +313,132 @@ proptest! {
         }
     }
 }
+
+// Soundness of the static verifier (locmap-verify): the verifier accepts
+// everything the compiler produces, and rejects targeted corruptions with
+// the exact documented diagnostic code.
+proptest! {
+    #[test]
+    fn verifier_accepts_every_compiler_mapping(
+        elems in 512u64..4096,
+        shared in 0u8..2,
+        fault_seed in 0u64..500,
+        faulty in 0u8..2,
+    ) {
+        use locmap_verify::{VerifyConfig, VerifyMapping};
+
+        let llc = if shared == 1 { LlcOrg::SharedSNuca } else { LlcOrg::Private };
+        let platform = Platform::paper_default_with(llc);
+        let mut p = Program::new("verify-prop");
+        let a = p.add_array("A", 8, elems);
+        let b = p.add_array("B", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+        let id = p.add_nest(nest);
+        let data = DataEnv::new();
+
+        let builder = Compiler::builder(platform.clone());
+        let compiler = if faulty == 1 {
+            let counts = FaultCounts { links: 1, routers: 1, mcs: 1, ..FaultCounts::default() };
+            let state = FaultPlan::random(fault_seed, platform.mesh, platform.mc_coords.len(), counts)
+                .final_state();
+            match Compiler::builder(platform.clone()).faults(&state).build() {
+                Ok(c) => c,
+                // Some random fault states invalidate the platform outright
+                // (e.g. no alive region); the builder rejecting them is its
+                // own tested contract.
+                Err(_) => builder.build().unwrap(),
+            }
+        } else {
+            builder.build().unwrap()
+        };
+        let mapping = compiler.map_nest(&p, id, &data);
+        // Topology is fault-independent; skip its O(n^2) enumeration here
+        // (it has its own tests) and run the nest/vector/mapping passes.
+        let cfg = VerifyConfig { routing: false, ..VerifyConfig::default() };
+        let sink = compiler.verify_mapping(&p, id, &data, &mapping, &cfg);
+        prop_assert!(sink.diagnostics().is_empty(), "verifier rejected a compiler mapping:\n{}", sink.report());
+    }
+
+    #[test]
+    fn verifier_rejects_targeted_corruptions(
+        elems in 1024u64..4096,
+        pick in 0usize..1000,
+        kind in 0u8..3,
+    ) {
+        use locmap_verify::{Code, VerifyConfig, VerifyMapping};
+
+        // Private LLC: the mapping cost is purely MAI-based, so the
+        // "worst region" probe below is exact.
+        let platform = Platform::paper_default_with(LlcOrg::Private);
+        let mut p = Program::new("corrupt-prop");
+        let a = p.add_array("A", 8, elems);
+        let mut nest = LoopNest::rectangular("n", &[elems as i64]);
+        nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+        let id = p.add_nest(nest);
+        let data = DataEnv::new();
+        let compiler = Compiler::builder(platform).build().unwrap();
+        let mut mapping = compiler.map_nest(&p, id, &data);
+        let k = pick % mapping.sets.len();
+        let cfg = VerifyConfig { routing: false, ..VerifyConfig::default() };
+
+        match kind {
+            0 => {
+                // Dropping a set leaves its iterations uncovered.
+                mapping.sets.remove(k);
+                mapping.regions.remove(k);
+                mapping.assignment.remove(k);
+                let sink = compiler.verify_mapping(&p, id, &data, &mapping, &cfg);
+                prop_assert!(sink.has(Code::COVERAGE_GAP), "{}", sink.report());
+                prop_assert!(!sink.is_clean());
+            }
+            1 => {
+                // Duplicating a set double-assigns its iterations.
+                let dup = mapping.sets[k];
+                mapping.sets.insert(k + 1, dup);
+                mapping.regions.insert(k + 1, mapping.regions[k]);
+                mapping.assignment.insert(k + 1, mapping.assignment[k]);
+                let sink = compiler.verify_mapping(&p, id, &data, &mapping, &cfg);
+                prop_assert!(sink.has(Code::SET_OVERLAP), "{}", sink.report());
+                prop_assert!(!sink.is_clean());
+            }
+            _ => {
+                // Moving a set to its worst region breaks the η argmin.
+                let eta = compiler.options().eta;
+                let mai_n = mapping.mai[k].clone().normalized();
+                let worst = compiler
+                    .platform()
+                    .regions
+                    .regions()
+                    .max_by(|&x, &y| {
+                        mai_n.eta_with(compiler.mac().of(x), eta)
+                            .total_cmp(&mai_n.eta_with(compiler.mac().of(y), eta))
+                    })
+                    .unwrap();
+                let best_eta = compiler
+                    .platform()
+                    .regions
+                    .regions()
+                    .map(|r| mai_n.eta_with(compiler.mac().of(r), eta))
+                    .fold(f64::INFINITY, f64::min);
+                // Only a strictly worse region constitutes a corruption;
+                // flat affinity vectors can tie across all regions.
+                let original = mapping.clone();
+                if mai_n.eta_with(compiler.mac().of(worst), eta) > best_eta + 1e-9
+                    && mapping.regions[k] != worst
+                {
+                    mapping.regions[k] = worst;
+                    mapping.assignment[k] = compiler.platform().regions.nodes_in(worst)[0];
+                    prop_assert!(mapping.regions != original.regions);
+                    let sink = compiler.verify_mapping(&p, id, &data, &mapping, &cfg);
+                    prop_assert!(
+                        sink.has(Code::ETA_NOT_MINIMAL) || sink.has(Code::STALE_MAPPING),
+                        "{}", sink.report()
+                    );
+                    prop_assert!(!sink.is_clean());
+                }
+            }
+        }
+    }
+}

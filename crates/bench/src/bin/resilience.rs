@@ -5,8 +5,15 @@
 //! scenario, prints the execution-time degradation vs the fault-free run
 //! and the aware-vs-oblivious gap on the same faulted machine. Seeds make
 //! every row bit-for-bit reproducible; override with `LOCMAP_FAULT_SEED`.
+//!
+//! A final section replays the first three scenarios as *online* timelines
+//! (faults arrive mid-run, drawn by `FaultPlan::random_timed` over the
+//! fault-free horizon) and reports the healing driver's MTTR, migration
+//! cost, and total-time ratio against an oracle that knew the final fault
+//! state upfront.
 
-use locmap_bench::resilience::evaluate_resilience;
+use locmap_bench::heal::{heal_run, HealConfig};
+use locmap_bench::resilience::{evaluate_online, evaluate_resilience};
 use locmap_bench::{print_table, Experiment};
 use locmap_core::LlcOrg;
 use locmap_noc::{FaultCounts, FaultPlan};
@@ -61,5 +68,50 @@ fn main() {
                 &rows,
             );
         }
+    }
+
+    // Online arm: the same scenarios, but the faults *arrive mid-run* and
+    // the healing driver has to recover while an oracle arm knew the final
+    // state from cycle 0.
+    let exp = Experiment::paper_default(LlcOrg::Private);
+    let mcs = exp.platform.mc_coords.len();
+    for (label, counts) in &scenarios[..3] {
+        let mut rows = Vec::new();
+        for w in locmap_bench::selected_apps(Scale::new(0.3)) {
+            let clean = match heal_run(
+                &w,
+                &exp,
+                &FaultPlan::new(exp.platform.mesh, mcs),
+                &HealConfig::default(),
+            ) {
+                Ok(out) => out.result.cycles,
+                Err(e) => {
+                    rows.push(vec![w.name.to_string(), format!("error: {e}")]);
+                    continue;
+                }
+            };
+            let plan = FaultPlan::random_timed(seed, exp.platform.mesh, mcs, *counts, clean, false);
+            match evaluate_online(&w, &exp, &plan) {
+                Ok(out) => {
+                    let s = &out.resilience;
+                    rows.push(vec![
+                        out.name.clone(),
+                        format!("{}", s.faults_seen),
+                        format!("{}", s.transient_retries),
+                        format!("{}", s.remaps),
+                        format!("{:.0}", s.mttr_cycles),
+                        format!("{}", s.migration_cost_cycles),
+                        format!("{}", s.recovery_overhead_cycles),
+                        format!("{:.2}x", out.overhead_ratio()),
+                    ]);
+                }
+                Err(e) => rows.push(vec![w.name.to_string(), format!("error: {e}")]),
+            }
+        }
+        print_table(
+            &format!("online healing vs oracle — Private LLC, {label}, seed {seed}"),
+            &["benchmark", "faults", "retries", "remaps", "MTTR", "migration", "overhead", "vs oracle"],
+            &rows,
+        );
     }
 }

@@ -17,6 +17,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod heal;
 pub mod resilience;
 
 use locmap_baselines::{hardware_placement, optimize_layout};

@@ -84,6 +84,18 @@ impl Args {
         }
     }
 
+    /// `--timeline transient|persistent` (default transient); returns the
+    /// `transient` flag [`FaultPlan::random_timed`] expects.
+    ///
+    /// [`FaultPlan::random_timed`]: locmap_noc::FaultPlan::random_timed
+    pub fn timeline(&self) -> Result<bool, String> {
+        match self.get("timeline").unwrap_or("transient") {
+            "transient" => Ok(true),
+            "persistent" => Ok(false),
+            other => Err(format!("--timeline must be transient|persistent, got {other:?}")),
+        }
+    }
+
     /// `--KEY N` non-negative count (default 0) — e.g. `--dead-mcs 1`.
     pub fn count(&self, key: &str) -> Result<usize, String> {
         match self.get(key) {
@@ -177,6 +189,15 @@ mod tests {
         assert_eq!(Args::parse(&[]).unwrap().seed().unwrap(), 7);
         let bad = Args::parse(&argv(&["--dead-mcs", "-1"])).unwrap();
         assert!(bad.count("dead-mcs").is_err());
+    }
+
+    #[test]
+    fn timeline_parses() {
+        assert!(Args::parse(&[]).unwrap().timeline().unwrap());
+        let a = Args::parse(&argv(&["--timeline", "persistent"])).unwrap();
+        assert!(!a.timeline().unwrap());
+        let bad = Args::parse(&argv(&["--timeline", "flaky"])).unwrap();
+        assert!(bad.timeline().is_err());
     }
 
     #[test]

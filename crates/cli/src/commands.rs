@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use locmap_bench::batch::{run_throughput, BatchConfig, STENCIL_SUITE};
+use locmap_bench::heal::{heal_run, HealConfig};
 use locmap_bench::resilience::evaluate_resilience;
 use locmap_bench::{evaluate, Experiment};
 use locmap_core::{region_loads, Compiler, Mac, MacPolicy, Platform};
@@ -28,6 +29,13 @@ USAGE:
   locmap faults --app NAME [--llc L] [--scale F] [--seed N]
                 [--dead-mcs N] [--dead-links N] [--dead-routers N] [--dead-banks N]
                                           degraded-mode resilience comparison
+  locmap heal --app NAME [--llc L] [--scale F] [--seed N]
+              [--timeline transient|persistent] [--horizon N]
+              [--dead-mcs N] [--dead-links N] [--dead-routers N] [--dead-banks N]
+                                          replay a timed fault timeline online
+                                          and print the recovery trace (default:
+                                          1 link + 1 router; horizon sized to
+                                          the fault-free run)
   locmap batch [--threads N] [--repeats N] [--apps a,b,...] [--llc L] [--scale F]
                                           batch-mapping throughput (defaults: 4
                                           threads, 4 repeats, stencil suite)
@@ -234,6 +242,78 @@ pub fn faults(args: &Args) -> Result<(), String> {
         out.aware.latency,
         -out.aware_net_gain_pct()
     );
+    Ok(())
+}
+
+/// `locmap heal`: replay a timed fault timeline against one benchmark with
+/// the online resilience controller and print the full recovery trace.
+pub fn heal(args: &Args) -> Result<(), String> {
+    let name = args.app()?;
+    if !names().contains(&name) {
+        return Err(format!("unknown benchmark {name:?}; see `locmap list`"));
+    }
+    let w = build(name, args.scale()?);
+    let exp = Experiment::paper_default(args.llc()?);
+    let mesh = exp.platform.mesh;
+    let mc_count = exp.platform.mc_coords.len();
+    let mut counts = FaultCounts {
+        links: args.count("dead-links")?,
+        routers: args.count("dead-routers")?,
+        mcs: args.count("dead-mcs")?,
+        banks: args.count("dead-banks")?,
+    };
+    if counts.is_empty() {
+        counts = FaultCounts { links: 1, routers: 1, mcs: 0, banks: 0 };
+    }
+    let seed = args.seed()?;
+    let transient = args.timeline()?;
+    let cfg = HealConfig::default();
+
+    // Without an explicit --horizon, size the timeline to the fault-free
+    // run so injections land mid-execution instead of after the finish.
+    let horizon = match args.count("horizon")? as u64 {
+        0 => {
+            let clean = heal_run(&w, &exp, &FaultPlan::new(mesh, mc_count), &cfg)
+                .map_err(|e| e.to_string())?;
+            clean.result.cycles
+        }
+        h => h,
+    };
+
+    let plan = FaultPlan::random_timed(seed, mesh, mc_count, counts, horizon, transient);
+    plan.validate().map_err(String::from)?;
+
+    println!("benchmark      : {}", w.name);
+    println!(
+        "fault timeline : seed {seed}, {} mode, horizon {horizon} cycles",
+        if transient { "transient" } else { "persistent" }
+    );
+    for ev in plan.events() {
+        match ev.repair_at {
+            Some(r) => println!("  {} dies at {}, repairs at {r}", ev.component, ev.inject_at),
+            None => println!("  {} dies at {} (permanent)", ev.component, ev.inject_at),
+        }
+    }
+
+    let out = heal_run(&w, &exp, &plan, &cfg).map_err(|e| e.to_string())?;
+    println!("\nrecovery trace:");
+    if out.trace.is_empty() {
+        println!("  (no faults surfaced — run finished before any injection)");
+    }
+    for ev in &out.trace {
+        println!("  {ev}");
+    }
+    let s = &out.summary;
+    println!("\nsummary:");
+    println!("  faults seen        : {}", s.faults_seen);
+    println!("  transient retries  : {}", s.transient_retries);
+    println!("  remaps             : {}", s.remaps);
+    println!("  quarantined/healed : {}/{}", s.quarantined, s.healed);
+    println!("  MTTR               : {:.0} cycles", s.mttr_cycles);
+    println!("  migration cost     : {} cycles", s.migration_cost_cycles);
+    println!("  recovery overhead  : {} cycles", s.recovery_overhead_cycles);
+    println!("  degradation        : {}", s.degradation);
+    println!("  finish             : {} cycles", out.result.cycles);
     Ok(())
 }
 

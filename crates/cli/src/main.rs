@@ -8,6 +8,7 @@
 //! locmap corun --apps mxm,fft [...]   multiprogrammed co-run
 //! locmap heat --app mxm [...]         router-pressure heatmaps
 //! locmap faults --app mxm [...]       fault-injection resilience report
+//! locmap heal --app mxm [...]         online fault-timeline replay + recovery trace
 //! locmap batch [--threads N] [...]    batch-mapping throughput
 //! locmap verify [--apps a,b] [...]    static verifier over workload mappings
 //! ```
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("corun") => run(commands::corun, &argv[1..]),
         Some("heat") => run(commands::heat, &argv[1..]),
         Some("faults") => run(commands::faults, &argv[1..]),
+        Some("heal") => run(commands::heal, &argv[1..]),
         Some("batch") => run(commands::batch, &argv[1..]),
         Some("verify") => run(commands::verify, &argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

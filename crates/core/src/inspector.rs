@@ -14,6 +14,7 @@
 
 use crate::compiler::{Compiler, NestMapping};
 use crate::hits::MeasuredRates;
+use crate::resilience::RetryPolicy;
 use locmap_loopir::{DataEnv, IterationSpace, NestId, Program};
 use serde::{Deserialize, Serialize};
 
@@ -61,30 +62,6 @@ pub struct InspectorReport {
     /// [`Inspector::run`]).
     #[serde(default)]
     pub retries: u32,
-}
-
-/// When to give up on a mapping and re-run the inspector.
-///
-/// Under faults (or phase changes) the hit rates observed while *executing*
-/// a mapping can drift from the rates the mapping was derived from; once
-/// the drift exceeds `divergence_threshold` the inspector re-profiles and
-/// remaps, paying a backoff that doubles per round so a machine that keeps
-/// degrading cannot trap the runtime in a remap storm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RetryPolicy {
-    /// Maximum re-inspection rounds before accepting the last mapping.
-    pub max_retries: u32,
-    /// Mean absolute hit-rate drift (over every set × reference entry)
-    /// that triggers a remap.
-    pub divergence_threshold: f64,
-    /// Cycles charged for the first retry; doubles each round.
-    pub backoff_base_cycles: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy { max_retries: 3, divergence_threshold: 0.08, backoff_base_cycles: 10_000 }
-    }
 }
 
 /// Mean absolute difference between two rate tables (both levels).
@@ -168,8 +145,7 @@ impl<'a> Inspector<'a> {
     ) -> InspectorReport {
         let mut report = self.run(program, nest_id, data, initial);
         let mut predicted = initial.clone();
-        let mut backoff = policy.backoff_base_cycles;
-        for _ in 0..policy.max_retries {
+        for round in 0..policy.max_retries {
             let observed = reprofile(&report.mapping);
             if divergence(&predicted, &observed) <= policy.divergence_threshold {
                 break;
@@ -177,10 +153,11 @@ impl<'a> Inspector<'a> {
             let redo = self.run(program, nest_id, data, &observed);
             report = InspectorReport {
                 mapping: redo.mapping,
-                overhead_cycles: report.overhead_cycles + redo.overhead_cycles + backoff,
+                overhead_cycles: report.overhead_cycles
+                    + redo.overhead_cycles
+                    + policy.backoff_cycles(round, u64::from(nest_id.0)),
                 retries: report.retries + 1,
             };
-            backoff = backoff.saturating_mul(2);
             predicted = observed;
         }
         report

@@ -58,6 +58,7 @@ mod hits;
 mod inspector;
 mod placement;
 mod platform;
+pub mod resilience;
 mod session;
 mod vectors;
 
@@ -68,7 +69,11 @@ pub use cache::CacheStats;
 pub use compiler::{Compiler, CompilerBuilder, MappingOptions, NestMapping, SharedObjective};
 pub use emit::{emit_openmp, emit_schedule_json};
 pub use hits::{AllMissModel, CmeModel, HitModel, MeasuredRates, OracleModel};
-pub use inspector::{Inspector, InspectorCostModel, InspectorReport, RetryPolicy};
+pub use inspector::{Inspector, InspectorCostModel, InspectorReport};
+pub use resilience::{
+    DegradationLevel, FaultClass, MigrationModel, QuarantineConfig, RecoveryAction,
+    RecoveryEvent, ResilienceController, ResilienceSummary, RetryPolicy,
+};
 pub use placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 pub use platform::{LlcOrg, Platform};
 pub use session::{MapRequest, MapResponse, MappingSession, MappingSessionBuilder, SessionStats};

@@ -92,6 +92,19 @@ impl Directory {
         self.sharers.remove(&line);
     }
 
+    /// Forgets every line `core` holds — the bookkeeping for a core whose
+    /// router died: its L1 contents are gone with it, and no invalidation
+    /// can (or need) ever be delivered to it again.
+    pub fn purge_core(&mut self, core: usize) {
+        let (w, bit) = (core / 64, 1u64 << (core % 64));
+        self.sharers.retain(|_, mask| {
+            if let Some(word) = mask.get_mut(w) {
+                *word &= !bit;
+            }
+            mask.iter().any(|&word| word != 0)
+        });
+    }
+
     /// Number of lines with at least one sharer.
     pub fn tracked_lines(&self) -> usize {
         self.sharers.len()
@@ -157,5 +170,16 @@ mod tests {
     #[should_panic]
     fn out_of_range_core_panics() {
         Directory::new(4).add_sharer(0, 4);
+    }
+
+    #[test]
+    fn purge_core_forgets_every_line_it_held() {
+        let mut d = Directory::new(72);
+        d.add_sharer(1, 70);
+        d.add_sharer(1, 2);
+        d.add_sharer(9, 70);
+        d.purge_core(70);
+        assert_eq!(d.sharers_excluding(1, 9999), vec![2]);
+        assert_eq!(d.tracked_lines(), 1, "line 9 had no other sharer");
     }
 }

@@ -278,11 +278,71 @@ impl FaultPlan {
         plan
     }
 
+    /// Like [`FaultPlan::random`], but spreads the failures over a
+    /// `[0, horizon)` cycle timeline instead of injecting everything
+    /// permanently at cycle 0 — the shape of plan the online resilience
+    /// controller consumes.
+    ///
+    /// Components are chosen exactly as [`FaultPlan::random`] chooses them
+    /// (same seed ⇒ same components). Each then gets timed windows:
+    ///
+    /// * `transient == false`: one permanent failure injected somewhere in
+    ///   the middle half of the horizon (`[horizon/4, 3·horizon/4)`);
+    /// * `transient == true`: one to three disjoint failure windows, each
+    ///   lasting 2–10 % of the horizon — a flaky component that strikes
+    ///   repeatedly, the input the strike-counting classifier needs.
+    ///
+    /// The result always passes [`FaultPlan::validate`]: windows of one
+    /// component never overlap, and repairs follow injections.
+    pub fn random_timed(
+        seed: u64,
+        mesh: Mesh,
+        mc_count: usize,
+        counts: FaultCounts,
+        horizon: u64,
+        transient: bool,
+    ) -> Self {
+        let base = Self::random(seed, mesh, mc_count, counts);
+        let horizon = horizon.max(16);
+        // A second, independently seeded stream draws the times so the
+        // component choice stays bit-identical to `random(seed, ..)`.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x74696d6564); // "timed"
+        let mut plan = FaultPlan::new(mesh, mc_count);
+        for ev in base.events() {
+            if !transient {
+                let inject_at = horizon / 4 + rng.gen_range(0..horizon / 2);
+                plan.push(FaultEvent { component: ev.component, inject_at, repair_at: None })
+                    .expect("components re-validated from the base plan");
+                continue;
+            }
+            let windows = rng.gen_range(1..=3u8);
+            let mut cursor = rng.gen_range(0..horizon / 4);
+            for _ in 0..windows {
+                let duration = (horizon / 50 + rng.gen_range(0..horizon / 12)).max(1);
+                let inject_at = cursor;
+                let repair_at = inject_at.saturating_add(duration);
+                plan.push(FaultEvent { component: ev.component, inject_at, repair_at: Some(repair_at) })
+                    .expect("components re-validated from the base plan");
+                // Next window starts strictly after this one repairs.
+                cursor = repair_at + 1 + rng.gen_range(0..horizon / 8 + 1);
+            }
+        }
+        plan
+    }
+
     /// Checks the plan for internal consistency: components in range, no
     /// self-referential links, repairs after injections, no component
-    /// scheduled twice (a channel and its reverse direction count as one
-    /// component), and at least one memory controller alive in the
-    /// permanent state.
+    /// scheduled in *overlapping* windows (a channel and its reverse
+    /// direction count as one component), and at least one memory
+    /// controller alive in the permanent state.
+    ///
+    /// The same component may appear in several **disjoint** windows —
+    /// that is how transient/recurring faults are expressed. Touching
+    /// windows (one repairs at the exact cycle the next injects) are
+    /// allowed and unambiguous under the [`FaultPlan::state_at`]
+    /// tie-break: the injection wins, so the component stays dead across
+    /// the shared boundary. Two windows with the same injection cycle, or
+    /// a window opening before the previous one closed, are rejected.
     ///
     /// [`FaultPlan::push`] and the `dead_*` constructors already enforce
     /// the link-sanity and duplicate rules, so this mainly guards plans
@@ -331,9 +391,18 @@ impl FaultPlan {
                 }
             }
             for (j, other) in self.events.iter().enumerate().skip(i + 1) {
-                if self.same_component(ev.component, other.component) {
+                if !self.same_component(ev.component, other.component) {
+                    continue;
+                }
+                // Two windows on one component are fine as long as they are
+                // disjoint ([a,b) then [b,c) is allowed — "touching").
+                // Overlap, including two windows opening at the same cycle,
+                // is ambiguous scheduling and rejected.
+                let a_end = ev.repair_at.unwrap_or(u64::MAX);
+                let b_end = other.repair_at.unwrap_or(u64::MAX);
+                if ev.inject_at < b_end && other.inject_at < a_end {
                     return Err(LocmapError::FaultConflict(format!(
-                        "events {i} and {j} both schedule {}",
+                        "events {i} and {j} schedule {} in overlapping windows",
                         ev.component
                     )));
                 }
@@ -354,6 +423,19 @@ impl FaultPlan {
 
     /// The fault state in effect at `cycle`: every event with
     /// `inject_at <= cycle` and no repair at or before `cycle` is active.
+    ///
+    /// # Equal-cycle tie-break (deterministic)
+    ///
+    /// When a repair and an injection land on the same cycle — one window
+    /// of a component closing exactly as another opens, or two different
+    /// components trading places — the rule is: **injections take effect
+    /// at their cycle, repairs take effect at theirs, and an injection
+    /// beats a simultaneous repair of the same component.** Formally, an
+    /// event is active on `[inject_at, repair_at)`, a half-open interval,
+    /// and the state is the union over active events. The union is
+    /// commutative, so the result is independent of the order events were
+    /// pushed; a component scheduled as `[a,b)` then `[b,c)` is dead for
+    /// the whole of `[a,c)` with no one-cycle flicker at `b`.
     pub fn state_at(&self, cycle: u64) -> FaultState {
         let mut state = FaultState::none(self.mesh, self.mc_count);
         for ev in &self.events {
@@ -728,6 +810,103 @@ mod tests {
         // Out-of-range MC.
         let plan = FaultPlan::new(m, 4).dead_mc(9);
         assert!(matches!(plan.validate(), Err(LocmapError::FaultConflict(_))));
+    }
+
+    #[test]
+    fn disjoint_windows_on_one_component_are_valid() {
+        let m = mesh();
+        let mut plan = FaultPlan::new(m, 4);
+        plan.push(FaultEvent {
+            component: FaultComponent::Mc(1),
+            inject_at: 10,
+            repair_at: Some(20),
+        })
+        .unwrap()
+        .push(FaultEvent {
+            component: FaultComponent::Mc(1),
+            inject_at: 20, // touching: repairs and re-injects at cycle 20
+            repair_at: Some(30),
+        })
+        .unwrap()
+        .push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 50, repair_at: None })
+        .unwrap();
+        assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        // Overlapping windows are still rejected.
+        let mut bad = FaultPlan::new(m, 4);
+        bad.push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 10, repair_at: Some(30) })
+            .unwrap()
+            .push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 20, repair_at: Some(40) })
+            .unwrap();
+        assert!(matches!(bad.validate(), Err(LocmapError::FaultConflict(_))));
+        // Two windows opening at the same cycle are ambiguous: rejected.
+        let mut dup = FaultPlan::new(m, 4);
+        dup.push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 5, repair_at: Some(9) })
+            .unwrap()
+            .push(FaultEvent { component: FaultComponent::Mc(1), inject_at: 5, repair_at: Some(7) })
+            .unwrap();
+        assert!(matches!(dup.validate(), Err(LocmapError::FaultConflict(_))));
+    }
+
+    #[test]
+    fn state_at_tie_break_is_deterministic_and_order_independent() {
+        // Regression: death and recovery of one component at equal cycles.
+        // The rule is half-open activity windows [inject, repair): at the
+        // shared boundary the injection wins, so [10,20) + [20,30) reads as
+        // dead throughout [10,30) with no flicker at 20 — regardless of the
+        // order the events were pushed.
+        let m = mesh();
+        let evs = [
+            FaultEvent { component: FaultComponent::Mc(2), inject_at: 10, repair_at: Some(20) },
+            FaultEvent { component: FaultComponent::Mc(2), inject_at: 20, repair_at: Some(30) },
+            // A *different* component recovering exactly when MC2 re-dies.
+            FaultEvent { component: FaultComponent::Bank(m.node_at(1, 1)), inject_at: 5, repair_at: Some(20) },
+        ];
+        let mut fwd = FaultPlan::new(m, 4);
+        let mut rev = FaultPlan::new(m, 4);
+        for e in &evs {
+            fwd.push(*e).unwrap();
+        }
+        for e in evs.iter().rev() {
+            rev.push(*e).unwrap();
+        }
+        assert!(fwd.validate().is_ok());
+        for plan in [&fwd, &rev] {
+            assert!(plan.state_at(9).mc_alive(2));
+            assert!(!plan.state_at(10).mc_alive(2), "injection is inclusive");
+            assert!(!plan.state_at(19).mc_alive(2));
+            assert!(!plan.state_at(20).mc_alive(2), "injection beats simultaneous repair");
+            assert!(!plan.state_at(29).mc_alive(2));
+            assert!(plan.state_at(30).mc_alive(2), "repair boundary is exclusive");
+            assert!(!plan.state_at(19).bank_alive(m.node_at(1, 1)));
+            assert!(plan.state_at(20).bank_alive(m.node_at(1, 1)), "other components repair on time");
+        }
+        // Insertion order never changes the evaluated state.
+        for c in fwd.change_cycles() {
+            assert_eq!(fwd.state_at(c), rev.state_at(c), "divergence at cycle {c}");
+            assert_eq!(fwd.state_at(c + 1), rev.state_at(c + 1));
+        }
+        assert_eq!(fwd.final_state(), rev.final_state());
+    }
+
+    #[test]
+    fn random_timed_is_deterministic_and_valid() {
+        let counts = FaultCounts { links: 2, mcs: 1, banks: 1, ..Default::default() };
+        for transient in [false, true] {
+            let a = FaultPlan::random_timed(11, mesh(), 4, counts, 100_000, transient);
+            let b = FaultPlan::random_timed(11, mesh(), 4, counts, 100_000, transient);
+            assert_eq!(a, b);
+            assert!(a.validate().is_ok(), "{:?}", a.validate());
+            assert!(!a.change_cycles().is_empty());
+            assert!(a.events().iter().all(|e| e.inject_at > 0), "mid-run arrivals only");
+            if transient {
+                assert!(a.events().iter().all(|e| e.repair_at.is_some()));
+                assert!(a.final_state().is_clean(), "transient plans fully heal");
+            } else {
+                assert_eq!(a.final_state().dead_counts(), (2, 0, 1, 1));
+            }
+        }
+        let c = FaultPlan::random_timed(12, mesh(), 4, counts, 100_000, true);
+        assert_ne!(FaultPlan::random_timed(11, mesh(), 4, counts, 100_000, true), c);
     }
 
     #[test]

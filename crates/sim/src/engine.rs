@@ -3,10 +3,14 @@
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
+use crate::timeline::{SimError, TransientFault};
 use locmap_core::{AffinityVec, LlcOrg, MeasuredRates, NestMapping, Platform};
 use locmap_loopir::{Access, DataEnv, Program};
 use locmap_mem::{Access as MemAccess, Cache, Directory, Dram, PhysAddr};
-use locmap_noc::{FaultState, LocmapError, McId, MessageKind, Network, NodeId, TopologyKind};
+use locmap_noc::{
+    route_xy, route_xy_torus, FaultComponent, FaultPlan, FaultState, LocmapError, McId,
+    MessageKind, Network, NodeId, TopologyKind,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -50,6 +54,48 @@ struct RefCounters {
     l1_hits: u64,
     llc_seen: u64,
     llc_hits: u64,
+}
+
+/// Live timeline state for [`Simulator::run_nest_with_plan`].
+#[derive(Debug)]
+struct TimelineCtx<'a> {
+    plan: &'a FaultPlan,
+    /// Absolute cycle the segment started at (local clock 0).
+    start_cycle: u64,
+    /// Fault boundaries still ahead: absolute, ascending, > `start_cycle`.
+    boundaries: Vec<u64>,
+    next: usize,
+}
+
+/// What the core's most recent iteration touched, for retroactive victim
+/// detection when a fault boundary lands inside the iteration's interval.
+#[derive(Debug, Clone, Default)]
+struct LastIter {
+    /// Local cycle the iteration issued at.
+    start: u64,
+    /// Local cycle the iteration completed at.
+    end: u64,
+    /// Index into `mapping.sets`.
+    set: usize,
+    /// Network legs traversed (src node, dst node), in traversal order.
+    legs: Vec<(NodeId, NodeId)>,
+    /// MCs whose DRAM served a miss.
+    mcs: Vec<usize>,
+    /// LLC bank nodes that served or forwarded an access.
+    banks: Vec<NodeId>,
+}
+
+/// Stat totals at segment start, for delta collection.
+#[derive(Debug, Clone)]
+struct Baseline {
+    l1h0: u64,
+    l1m0: u64,
+    l2h0: u64,
+    l2m0: u64,
+    l2w0: u64,
+    dram0: locmap_mem::DramStats,
+    net0: locmap_noc::NetworkStats,
+    inval0: u64,
 }
 
 /// The outcome level of one memory access.
@@ -168,6 +214,15 @@ impl Simulator {
         let mc_redirect = eff.mc_redirects(&self.platform.mc_coords)?;
         let bank_redirect = eff.bank_redirects()?;
         eff.check_connected(self.cfg.noc.topology == TopologyKind::Torus)?;
+        // A dead router takes its core's L1 contents with it: drop the
+        // core's cache and its sharer-directory entries, so no later write
+        // tries to deliver an invalidation to a node nothing can reach.
+        for c in 0..self.platform.mesh.node_count() {
+            if !eff.router_alive(NodeId(c as u16)) {
+                self.l1s[c] = Cache::new(self.cfg.l1);
+                self.dir.purge_core(c);
+            }
+        }
         self.net.set_faults(Some(eff.clone()));
         self.faults = Some(SimFaults { state: eff, mc_redirect, bank_redirect });
         Ok(())
@@ -247,6 +302,64 @@ impl Simulator {
         data: &DataEnv,
         addr_offset: u64,
     ) -> RunResult {
+        match self.run_nest_inner(program, mapping, data, addr_offset, None) {
+            Ok(r) => r,
+            Err(e) => unreachable!("timeline-free runs cannot fault: {e}"),
+        }
+    }
+
+    /// Executes one mapped nest while `plan`'s fault clock advances.
+    ///
+    /// The segment starts at absolute cycle `start_cycle` (the returned
+    /// metrics are relative to it) in `plan.state_at(start_cycle)`. At
+    /// every later boundary of [`FaultPlan::change_cycles`] the machine
+    /// swaps in `state_at(boundary)`; in-flight work that a newly-dead
+    /// link/router/MC/bank interrupts surfaces as [`SimError::Transient`]
+    /// (carrying which sets completed and the partial metrics), and a
+    /// state the machine cannot survive — partitioned mesh, no MC or bank
+    /// left — as [`SimError::Unsurvivable`]. Mappings with work on a core
+    /// that is already dead at `start_cycle` are rejected with
+    /// [`SimError::InvalidMapping`] before anything runs.
+    ///
+    /// The caller (normally the resilience heal driver,
+    /// `locmap_bench::heal`) retries transient faults, remaps the
+    /// incomplete sets after persistent ones, or degrades. On success the
+    /// machine is left in the state of the last crossed boundary, so a
+    /// follow-on segment continues from a consistent machine.
+    pub fn run_nest_with_plan(
+        &mut self,
+        program: &Program,
+        mapping: &NestMapping,
+        data: &DataEnv,
+        plan: &FaultPlan,
+        start_cycle: u64,
+    ) -> Result<RunResult, SimError> {
+        let state = plan.state_at(start_cycle);
+        self.set_faults(&state)
+            .map_err(|source| SimError::Unsurvivable { cycle: start_cycle, source })?;
+        if let Some(f) = &self.faults {
+            for (s, &core) in mapping.assignment.iter().enumerate() {
+                if !f.state.router_alive(core) {
+                    return Err(SimError::InvalidMapping(format!(
+                        "iteration set {s} is mapped to dead core {core} at cycle {start_cycle}"
+                    )));
+                }
+            }
+        }
+        let boundaries: Vec<u64> =
+            plan.change_cycles().into_iter().filter(|&b| b > start_cycle).collect();
+        let ctx = TimelineCtx { plan, start_cycle, boundaries, next: 0 };
+        self.run_nest_inner(program, mapping, data, 0, Some(ctx))
+    }
+
+    fn run_nest_inner(
+        &mut self,
+        program: &Program,
+        mapping: &NestMapping,
+        data: &DataEnv,
+        addr_offset: u64,
+        mut timeline: Option<TimelineCtx>,
+    ) -> Result<RunResult, SimError> {
         // The run's clock starts at zero: release link and bank occupancy
         // left over from earlier runs (cache contents stay warm).
         self.net.reset_contention();
@@ -257,6 +370,7 @@ impl Simulator {
         let nsets = mapping.sets.len();
         let nrefs = nest.refs.len();
         let nodes = self.platform.mesh.node_count();
+        let tracking = timeline.is_some();
 
         // Per-core ordered work list: (set index) in ascending set id.
         let mut work: Vec<Vec<usize>> = vec![Vec::new(); nodes];
@@ -267,6 +381,8 @@ impl Simulator {
         // Per-core progress: (position in work list, offset inside set).
         let mut pos = vec![(0usize, 0usize); nodes];
         let mut clock = vec![0.0f64; nodes];
+        let mut last_iter: Vec<Option<LastIter>> = vec![None; nodes];
+        let mut done_iters = vec![0u64; nsets];
 
         // Measurement state.
         let mut counters = vec![vec![RefCounters::default(); nrefs]; nsets];
@@ -276,13 +392,16 @@ impl Simulator {
         let mut cai_tally = vec![vec![0u64; nregions]; nsets];
         let mut access_tally = vec![0u64; nsets];
 
-        let net_msgs_before = self.net.stats().messages;
-        let inval_before = self.invalidations;
-        let (l1h0, l1m0) = self.l1_totals();
-        let (l2h0, l2m0, l2w0) = self.l2_totals();
-        let dram0 = *self.dram.stats();
-        let net0 = *self.net.stats();
-        let _ = net_msgs_before;
+        let base = Baseline {
+            l1h0: self.l1_totals().0,
+            l1m0: self.l1_totals().1,
+            l2h0: self.l2_totals().0,
+            l2m0: self.l2_totals().1,
+            l2w0: self.l2_totals().2,
+            dram0: *self.dram.stats(),
+            net0: *self.net.stats(),
+            inval0: self.invalidations,
+        };
 
         // Advance the earliest core one iteration at a time.
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -293,7 +412,68 @@ impl Simulator {
         }
 
         let work_cycles = nest.work_per_iter as f64 * self.cfg.cpi_base;
-        while let Some(Reverse((_, c))) = heap.pop() {
+        loop {
+            // A fault boundary fires before any iteration issuing at or
+            // after it (injections take effect at their cycle). When the
+            // heap has drained, boundaries inside the run window still
+            // fire — the tail iterations may span them.
+            let ready = heap.peek().map(|&Reverse((rt, _))| rt);
+            let boundary = timeline
+                .as_ref()
+                .and_then(|tl| tl.boundaries.get(tl.next).map(|&b| (b, b - tl.start_cycle)));
+            let cross = match (boundary, ready) {
+                (Some((_, bl)), Some(rt)) => bl <= rt,
+                (Some((_, bl)), None) => {
+                    bl <= clock.iter().cloned().fold(0.0, f64::max) as u64
+                }
+                (None, _) => false,
+            };
+            if cross {
+                let (b, b_local) = boundary.expect("cross implies a boundary");
+                let tl = timeline.as_mut().expect("cross implies a timeline");
+                tl.next += 1;
+                let plan = tl.plan;
+                let old = self.faults.as_ref().map(|f| f.state.clone());
+                self.set_faults(&plan.state_at(b))
+                    .map_err(|source| SimError::Unsurvivable { cycle: b, source })?;
+                let new = self.faults.as_ref().expect("just set").state.clone();
+                if let Some((core, set, component, in_flight)) =
+                    self.find_victim(&work, &pos, &last_iter, b_local, old.as_ref(), &new)
+                {
+                    let mut done = done_iters.clone();
+                    if in_flight {
+                        // The spanning iteration's packet never arrived:
+                        // it must be re-executed.
+                        done[set] = done[set].saturating_sub(1);
+                    }
+                    let completed: Vec<bool> = mapping
+                        .sets
+                        .iter()
+                        .enumerate()
+                        .map(|(s, set)| done[s] >= (set.end - set.start) as u64)
+                        .collect();
+                    let cycles = clock.iter().cloned().fold(0.0, f64::max) as u64;
+                    let partial = self.collect_result(
+                        &base,
+                        cycles.min(b_local),
+                        &counters,
+                        &mai_tally,
+                        &cai_tally,
+                        &access_tally,
+                    );
+                    return Err(SimError::Transient(Box::new(TransientFault {
+                        component,
+                        cycle: b,
+                        core: NodeId(core as u16),
+                        set,
+                        completed,
+                        partial,
+                    })));
+                }
+                continue;
+            }
+
+            let Some(Reverse((rt, c))) = heap.pop() else { break };
             let (wi, off) = pos[c];
             let set_idx = work[c][wi];
             let set = mapping.sets[set_idx];
@@ -306,6 +486,7 @@ impl Simulator {
             // sum.
             let t0 = clock[c] + work_cycles;
             let mut t = t0;
+            let mut footprint = LastIter::default();
 
             let iv = space.get(k);
             for (ri, r) in nest.refs.iter().enumerate() {
@@ -316,6 +497,9 @@ impl Simulator {
                 };
                 let (done, level, mc, bank) = self.access(t0 as u64, c, addr, acc);
                 t = t.max(done as f64);
+                if tracking {
+                    self.record_footprint(&mut footprint, c, level, mc, bank);
+                }
 
                 // Measurement.
                 let ctr = &mut counters[set_idx][ri];
@@ -336,6 +520,13 @@ impl Simulator {
                 }
             }
             clock[c] = t;
+            done_iters[set_idx] += 1;
+            if tracking {
+                footprint.start = rt;
+                footprint.end = t as u64;
+                footprint.set = set_idx;
+                last_iter[c] = Some(footprint);
+            }
 
             // Advance this core's cursor.
             let (mut wi, mut off) = pos[c];
@@ -351,25 +542,172 @@ impl Simulator {
         }
 
         let cycles = clock.iter().cloned().fold(0.0, f64::max) as u64;
+        Ok(self.collect_result(&base, cycles, &counters, &mai_tally, &cai_tally, &access_tally))
+    }
 
-        // Collect deltas.
+    /// Records which network legs, MCs and banks one access used, for
+    /// retroactive victim detection at fault boundaries. Legs are modeled
+    /// as the X-Y request/response paths of the analytic timing model.
+    fn record_footprint(
+        &self,
+        footprint: &mut LastIter,
+        c: usize,
+        level: Level,
+        mc: usize,
+        bank: u16,
+    ) {
+        let core_node = NodeId(c as u16);
+        match (level, self.platform.llc) {
+            (Level::L1, _) => {}
+            (Level::Llc, LlcOrg::SharedSNuca) => {
+                let bn = self.platform.bank_node(bank);
+                footprint.legs.push((core_node, bn));
+                footprint.legs.push((bn, core_node));
+                footprint.banks.push(bn);
+            }
+            (Level::Llc, LlcOrg::Private) => {
+                // Local bank probe: no network traversal.
+                footprint.banks.push(core_node);
+            }
+            (Level::Mem, LlcOrg::SharedSNuca) => {
+                let bn = self.platform.bank_node(bank);
+                let mcn = self.platform.mc_node(McId(mc as u16));
+                footprint.legs.push((core_node, bn));
+                footprint.legs.push((bn, mcn));
+                footprint.legs.push((mcn, bn));
+                footprint.legs.push((bn, core_node));
+                footprint.banks.push(bn);
+                footprint.mcs.push(mc);
+            }
+            (Level::Mem, LlcOrg::Private) => {
+                let mcn = self.platform.mc_node(McId(mc as u16));
+                footprint.legs.push((core_node, mcn));
+                footprint.legs.push((mcn, core_node));
+                footprint.mcs.push(mc);
+            }
+        }
+    }
+
+    /// The deterministic victim of a fault boundary at local cycle
+    /// `b_local`, if any: either a core with remaining work whose router
+    /// just died, or the earliest-finishing in-flight iteration whose
+    /// traffic crossed a newly-dead component. Returns
+    /// `(core, set, component, in_flight)`; blame order when one incident
+    /// touches several newly-dead components: router, link, MC, bank.
+    fn find_victim(
+        &self,
+        work: &[Vec<usize>],
+        pos: &[(usize, usize)],
+        last_iter: &[Option<LastIter>],
+        b_local: u64,
+        old: Option<&FaultState>,
+        new: &FaultState,
+    ) -> Option<(usize, usize, FaultComponent, bool)> {
+        let newly_dead_router =
+            |n: NodeId| !new.router_alive(n) && old.is_none_or(|o| o.router_alive(n));
+        let mut best: Option<(u64, usize, usize, FaultComponent, bool)> = None;
+        let mut consider = |cand: (u64, usize, usize, FaultComponent, bool)| {
+            let better = match &best {
+                None => true,
+                Some(b) => (cand.0, cand.1) < (b.0, b.1),
+            };
+            if better {
+                best = Some(cand);
+            }
+        };
+        for c in 0..work.len() {
+            let node = NodeId(c as u16);
+            let (wi, _) = pos[c];
+            // (a) A core with remaining work lost its router: it cannot
+            // issue another iteration. Interrupts at the boundary itself.
+            if wi < work[c].len() && newly_dead_router(node) {
+                consider((b_local, c, work[c][wi], FaultComponent::Router(node), false));
+            }
+            // (b) The core's latest iteration spans the boundary and its
+            // packets crossed a component that just died: the response
+            // never arrives.
+            if let Some(li) = &last_iter[c] {
+                if li.start <= b_local && li.end > b_local {
+                    if let Some(comp) = self.blame(li, old, new) {
+                        consider((li.end, c, li.set, comp, true));
+                    }
+                }
+            }
+        }
+        best.map(|(_, c, s, comp, in_flight)| (c, s, comp, in_flight))
+    }
+
+    /// The newly-dead component an in-flight iteration's traffic used, in
+    /// blame order router > link > MC > bank; `None` when its traffic
+    /// avoided everything that died.
+    fn blame(
+        &self,
+        li: &LastIter,
+        old: Option<&FaultState>,
+        new: &FaultState,
+    ) -> Option<FaultComponent> {
+        let mesh = self.platform.mesh;
+        let torus = self.cfg.noc.topology == TopologyKind::Torus;
+        let newly = |now: bool, before: bool| before && !now;
+        // Routers on any leg's path (including endpoints).
+        for &(s, d) in &li.legs {
+            let path = if torus { route_xy_torus(mesh, s, d) } else { route_xy(mesh, s, d) };
+            for l in &path {
+                if newly(new.router_alive(l.from), old.is_none_or(|o| o.router_alive(l.from))) {
+                    return Some(FaultComponent::Router(l.from));
+                }
+            }
+            if newly(new.router_alive(d), old.is_none_or(|o| o.router_alive(d))) {
+                return Some(FaultComponent::Router(d));
+            }
+            for l in path {
+                if newly(new.link_alive(l), old.is_none_or(|o| o.link_alive(l))) {
+                    return Some(FaultComponent::Link(l));
+                }
+            }
+        }
+        for &mc in &li.mcs {
+            if newly(new.mc_alive(mc), old.is_none_or(|o| o.mc_alive(mc))) {
+                return Some(FaultComponent::Mc(mc));
+            }
+        }
+        for &bn in &li.banks {
+            if newly(new.bank_alive(bn), old.is_none_or(|o| o.bank_alive(bn))) {
+                return Some(FaultComponent::Bank(bn));
+            }
+        }
+        None
+    }
+
+    /// Delta-collects a [`RunResult`] for the segment since `base`.
+    fn collect_result(
+        &self,
+        base: &Baseline,
+        cycles: u64,
+        counters: &[Vec<RefCounters>],
+        mai_tally: &[Vec<u64>],
+        cai_tally: &[Vec<u64>],
+        access_tally: &[u64],
+    ) -> RunResult {
         let (l1h1, l1m1) = self.l1_totals();
         let (l2h1, l2m1, l2w1) = self.l2_totals();
         let mut network = *self.net.stats();
-        network.messages -= net0.messages;
-        network.total_latency -= net0.total_latency;
-        network.total_hops -= net0.total_hops;
-        network.total_queue_cycles -= net0.total_queue_cycles;
-        network.total_flits -= net0.total_flits;
+        network.messages -= base.net0.messages;
+        network.total_latency -= base.net0.total_latency;
+        network.total_hops -= base.net0.total_hops;
+        network.total_queue_cycles -= base.net0.total_queue_cycles;
+        network.total_flits -= base.net0.total_flits;
 
         let mut dram = *self.dram.stats();
-        dram.requests -= dram0.requests;
-        dram.row_hits -= dram0.row_hits;
-        dram.row_empty -= dram0.row_empty;
-        dram.row_conflicts -= dram0.row_conflicts;
-        dram.total_latency -= dram0.total_latency;
+        dram.requests -= base.dram0.requests;
+        dram.row_hits -= base.dram0.row_hits;
+        dram.row_empty -= base.dram0.row_empty;
+        dram.row_conflicts -= base.dram0.row_conflicts;
+        dram.total_latency -= base.dram0.total_latency;
 
         // Measured rates.
+        let nsets = counters.len();
+        let nrefs = counters.first().map_or(0, Vec::len);
         let mut measured = MeasuredRates::zeroed(nsets, nrefs);
         for (s, refs) in counters.iter().enumerate() {
             for (r, ctr) in refs.iter().enumerate() {
@@ -379,35 +717,39 @@ impl Simulator {
                     if ctr.llc_seen == 0 { 0.0 } else { ctr.llc_hits as f64 / ctr.llc_seen as f64 };
             }
         }
-        let observed_mai = mai_tally
-            .iter()
-            .zip(&access_tally)
-            .map(|(tal, &n)| {
-                AffinityVec(tal.iter().map(|&x| if n == 0 { 0.0 } else { x as f64 / n as f64 }).collect())
-            })
-            .collect();
-        let observed_cai = cai_tally
-            .iter()
-            .zip(&access_tally)
-            .map(|(tal, &n)| {
-                AffinityVec(tal.iter().map(|&x| if n == 0 { 0.0 } else { x as f64 / n as f64 }).collect())
-            })
-            .collect();
+        let ratios = |tallies: &[Vec<u64>]| -> Vec<AffinityVec> {
+            tallies
+                .iter()
+                .zip(access_tally)
+                .map(|(tal, &n)| {
+                    AffinityVec(
+                        tal.iter()
+                            .map(|&x| if n == 0 { 0.0 } else { x as f64 / n as f64 })
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
 
         RunResult {
             cycles,
             network,
-            l1: locmap_mem::CacheStats { hits: l1h1 - l1h0, misses: l1m1 - l1m0, writebacks: 0 },
+            l1: locmap_mem::CacheStats {
+                hits: l1h1 - base.l1h0,
+                misses: l1m1 - base.l1m0,
+                writebacks: 0,
+            },
             l2: locmap_mem::CacheStats {
-                hits: l2h1 - l2h0,
-                misses: l2m1 - l2m0,
-                writebacks: l2w1 - l2w0,
+                hits: l2h1 - base.l2h0,
+                misses: l2m1 - base.l2m0,
+                writebacks: l2w1 - base.l2w0,
             },
             dram,
             measured,
-            observed_mai,
-            observed_cai,
-            invalidations: self.invalidations - inval_before,
+            observed_mai: ratios(mai_tally),
+            observed_cai: ratios(cai_tally),
+            invalidations: self.invalidations - base.inval0,
+            resilience: None,
         }
     }
 
@@ -881,6 +1223,137 @@ mod tests {
         // No LLC hit may be served from the dead bank's region... the bank
         // itself, rather: its L2 must stay untouched.
         assert_eq!(sim.l2s[dead.index()].stats().hits + sim.l2s[dead.index()].stats().misses, 0);
+    }
+
+    #[test]
+    fn plan_run_without_events_matches_plain_run() {
+        use locmap_noc::FaultPlan;
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let plain = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        let timed = sim.run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 0).unwrap();
+        assert_eq!(plain.cycles, timed.cycles);
+        assert_eq!(plain.network, timed.network);
+    }
+
+    #[test]
+    fn fault_arriving_after_the_run_does_not_interrupt() {
+        use locmap_noc::{FaultComponent, FaultEvent, FaultPlan};
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let clean = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        plan.push(FaultEvent {
+            component: FaultComponent::Mc(0),
+            inject_at: clean.cycles * 2,
+            repair_at: None,
+        })
+        .unwrap();
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let r = sim.run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 0).unwrap();
+        assert_eq!(r.cycles, clean.cycles);
+    }
+
+    #[test]
+    fn mid_run_router_death_surfaces_transient_fault() {
+        use crate::timeline::SimError;
+        use locmap_noc::{FaultComponent, FaultEvent, FaultPlan};
+        let (p, id) = demo_program(20_000, 3);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.default_mapping(&p, id); // all 36 cores busy
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let clean = sim.run_nest(&p, &mapping, &DataEnv::new());
+
+        let dead = platform.mesh.node_at(3, 3);
+        let mid = clean.cycles / 2;
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        plan.push(FaultEvent { component: FaultComponent::Router(dead), inject_at: mid, repair_at: None })
+            .unwrap();
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let err = sim.run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 0).unwrap_err();
+        match err {
+            SimError::Transient(t) => {
+                assert_eq!(t.cycle, mid);
+                assert_eq!(t.completed.len(), mapping.sets.len());
+                assert!(t.completed.iter().any(|&c| !c), "work must remain");
+                assert!(t.partial.cycles <= mid);
+                assert!(
+                    matches!(t.component, FaultComponent::Router(n) if n == dead),
+                    "blamed {}",
+                    t.component
+                );
+            }
+            other => panic!("expected transient fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_total_mc_loss_is_unsurvivable() {
+        use crate::timeline::SimError;
+        use locmap_noc::{FaultComponent, FaultEvent, FaultPlan};
+        let (p, id) = demo_program(20_000, 3);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.default_mapping(&p, id);
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let clean = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let mid = clean.cycles / 2;
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        for k in 0..platform.mc_count() {
+            plan.push(FaultEvent { component: FaultComponent::Mc(k), inject_at: mid, repair_at: None })
+                .unwrap();
+        }
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let err = sim.run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 0).unwrap_err();
+        assert!(matches!(err, SimError::Unsurvivable { cycle, .. } if cycle == mid), "{err}");
+    }
+
+    #[test]
+    fn plan_run_rejects_mapping_on_initially_dead_core() {
+        use crate::timeline::SimError;
+        use locmap_noc::FaultPlan;
+        let (p, id) = demo_program(5_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.default_mapping(&p, id);
+        let plan = FaultPlan::new(platform.mesh, platform.mc_count())
+            .dead_router(platform.mesh.node_at(2, 2));
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let err = sim.run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidMapping(_)), "{err}");
+    }
+
+    #[test]
+    fn transient_window_that_heals_before_arrival_completes_clean() {
+        use locmap_noc::{FaultComponent, FaultEvent, FaultPlan};
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        // A bank dies and recovers entirely before the segment starts:
+        // starting at a later absolute cycle must see the healed machine.
+        let mut plan = FaultPlan::new(platform.mesh, platform.mc_count());
+        plan.push(FaultEvent {
+            component: FaultComponent::Bank(platform.mesh.node_at(1, 1)),
+            inject_at: 100,
+            repair_at: Some(5_000),
+        })
+        .unwrap();
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let r = sim
+            .run_nest_with_plan(&p, &mapping, &DataEnv::new(), &plan, 10_000)
+            .unwrap();
+        assert!(r.cycles > 0);
+        assert!(sim.faults().is_some_and(FaultState::is_clean), "machine healed");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod engine;
 mod knl;
 mod multi;
 mod result;
+mod timeline;
 mod viz;
 
 pub use config::SimConfig;
@@ -47,6 +48,7 @@ pub use engine::{Simulator, SimulatorBuilder};
 pub use knl::{knl_platform, KnlMode};
 pub use multi::{run_multiprogram, run_multiprogram_parallel, MultiprogramResult, Slot};
 pub use result::RunResult;
+pub use timeline::{SimError, TransientFault};
 pub use viz::{ascii_heatmap, core_load_map, router_pressure};
 
 /// One-line import for mapping *and* simulating.
@@ -61,5 +63,6 @@ pub mod prelude {
         run_multiprogram, run_multiprogram_parallel, MultiprogramResult, Slot,
     };
     pub use crate::result::RunResult;
+    pub use crate::timeline::{SimError, TransientFault};
     pub use locmap_core::prelude::*;
 }

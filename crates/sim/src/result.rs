@@ -1,6 +1,6 @@
 //! Simulation results and derived metrics.
 
-use locmap_core::{AffinityVec, MeasuredRates};
+use locmap_core::{AffinityVec, MeasuredRates, ResilienceSummary};
 use locmap_mem::{CacheStats, DramStats};
 use locmap_noc::NetworkStats;
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,12 @@ pub struct RunResult {
     pub observed_cai: Vec<AffinityVec>,
     /// Number of coherence invalidation messages generated.
     pub invalidations: u64,
+    /// What online resilience did during the run: faults seen, retries,
+    /// remaps, MTTR, migration cost and the degradation level. `None` for
+    /// plain runs; filled in by the heal driver
+    /// (`locmap_bench::heal`) when a run recovered from mid-run faults.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSummary>,
 }
 
 impl RunResult {

@@ -1,8 +1,10 @@
 //! Back-compat coverage for the deprecated constructors.
 //!
 //! `Compiler::new`, `Compiler::new_degraded`, `Simulator::new`,
-//! `Mesh::new` and `RegionGrid::new` are deprecated shims over the builder
-//! and `try_new` APIs, but they are still public: code written against the
+//! `Mesh::new`, `RegionGrid::new` and the `InspectorRetryPolicy` type alias
+//! are deprecated shims over the builder, `try_new`, and
+//! `resilience::RetryPolicy` APIs, but they are still public: code written
+//! against the
 //! old API must keep compiling and must produce bit-identical results to
 //! the replacements it is steered toward. This file is the one place in
 //! the workspace allowed to call them — everything else builds under
@@ -60,6 +62,20 @@ fn simulator_new_matches_builder() {
         (old.run_nest(&p, &mapping, &DataEnv::new()), new.run_nest(&p, &mapping, &DataEnv::new()));
     assert_eq!(r_old.cycles, r_new.cycles);
     assert_eq!(r_old.network.total_latency, r_new.network.total_latency);
+}
+
+#[test]
+fn inspector_retry_policy_alias_matches_retry_policy() {
+    // The inspector's private retry knobs were generalized into
+    // `locmap_core::resilience::RetryPolicy`; the old name survives one
+    // release as a deprecated alias and must stay behaviorally identical.
+    let old = locmap_core::resilience::InspectorRetryPolicy::default();
+    let new = locmap_core::resilience::RetryPolicy::default();
+    assert_eq!(old.max_retries, new.max_retries);
+    assert_eq!(old.divergence_threshold, new.divergence_threshold);
+    for attempt in 0..4 {
+        assert_eq!(old.backoff_cycles(attempt, 42), new.backoff_cycles(attempt, 42));
+    }
 }
 
 #[test]

@@ -314,6 +314,93 @@ proptest! {
     }
 }
 
+// Totality of the online resilience driver: an arbitrary timed fault
+// timeline either drives the run to completion (with every adopted remap
+// verifier-gated inside the degradation ladder) or surfaces a typed
+// `HealError` — never a panic, never a silently wrong tally.
+proptest! {
+    #[test]
+    fn heal_run_is_total_over_random_timelines(
+        seed in 0u64..5_000,
+        links in 0usize..=2,
+        routers in 0usize..=2,
+        mcs in 0usize..=1,
+        transient in 0u8..2,
+        horizon_pct in 10u64..=150,
+    ) {
+        use locmap_bench::heal::{heal_run, HealConfig};
+        use locmap_bench::Experiment;
+        use locmap_core::{DegradationLevel, RecoveryAction};
+        use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, Program};
+        use locmap_workloads::{Table3Info, Workload};
+        use std::sync::OnceLock;
+
+        fn stream() -> Workload {
+            let mut p = Program::new("heal-prop");
+            let elems = 1u64 << 14;
+            let a = p.add_array("A", 8, elems);
+            let mut nest = LoopNest::rectangular("scan", &[(elems / 8) as i64]).work(24);
+            nest.add_ref(a, AffineExpr::var(0, 8), Access::Read);
+            p.add_nest(nest);
+            Workload {
+                name: "heal-prop",
+                program: p,
+                data: DataEnv::new(),
+                irregular: false,
+                timing_iters: 1,
+                table3: Table3Info::default(),
+            }
+        }
+
+        let w = stream();
+        let exp = Experiment::paper_default(LlcOrg::Private);
+        static CLEAN: OnceLock<u64> = OnceLock::new();
+        let clean = *CLEAN.get_or_init(|| {
+            let empty = FaultPlan::new(exp.platform.mesh, exp.platform.mc_coords.len());
+            heal_run(&stream(), &exp, &empty, &HealConfig::default()).unwrap().result.cycles
+        });
+
+        let counts = FaultCounts { links, routers, mcs, ..FaultCounts::default() };
+        let plan = locmap_noc::FaultPlan::random_timed(
+            seed,
+            exp.platform.mesh,
+            exp.platform.mc_coords.len(),
+            counts,
+            clean * horizon_pct / 100,
+            transient == 1,
+        );
+        prop_assert!(plan.validate().is_ok(), "random_timed must self-validate");
+
+        match heal_run(&w, &exp, &plan, &HealConfig::default()) {
+            Ok(out) => {
+                let s = &out.summary;
+                prop_assert!(out.result.cycles > 0);
+                prop_assert_eq!(out.result.resilience.as_ref(), Some(s));
+                prop_assert!(s.recovery_overhead_cycles >= s.migration_cost_cycles);
+                prop_assert!(s.transient_retries <= s.faults_seen);
+                prop_assert!(s.remaps <= s.faults_seen);
+                let remap_events = out
+                    .trace
+                    .iter()
+                    .filter(|e| e.action == RecoveryAction::Remapped)
+                    .count();
+                prop_assert_eq!(remap_events as u32, s.remaps, "trace disagrees with tally");
+                if s.faults_seen == 0 {
+                    prop_assert!(out.trace.is_empty());
+                    prop_assert_eq!(s.degradation, DegradationLevel::None);
+                    prop_assert_eq!(out.result.cycles, clean, "fault-free heal must match clean run");
+                } else {
+                    prop_assert!(out.result.cycles >= clean, "recovery cannot beat the clean run");
+                    prop_assert!(s.mttr_cycles > 0.0);
+                }
+            }
+            // Typed degradation verdicts are an acceptable outcome for a
+            // hostile timeline; formatting them must not panic either.
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
 // Soundness of the static verifier (locmap-verify): the verifier accepts
 // everything the compiler produces, and rejects targeted corruptions with
 // the exact documented diagnostic code.

@@ -405,6 +405,11 @@ pub fn heal_run(
                     }
                     return Err(HealError::Unsurvivable { cycle, source });
                 }
+                Err(SimError::Aborted { reason, .. }) => {
+                    // Healing runs are not driven under a RunControl, so a
+                    // cooperative abort can only mean infrastructure misuse.
+                    return Err(HealError::Mapping(reason));
+                }
                 Err(SimError::InvalidMapping(_)) => {
                     // Unfinished work sits on a core that is dead at this
                     // epoch (typically after retrying a router death in

@@ -18,6 +18,7 @@
 
 pub mod batch;
 pub mod heal;
+pub mod overload;
 pub mod resilience;
 
 use locmap_baselines::{hardware_placement, optimize_layout};

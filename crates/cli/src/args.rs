@@ -119,6 +119,23 @@ impl Args {
         }
     }
 
+    /// `--KEY a,b,c` comma-separated list of positive numbers with a
+    /// default — e.g. `--load 1,3,10`.
+    pub fn floats_or(&self, key: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| match s.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f.is_finite() => Ok(f),
+                    _ => Err(format!("--{key} entries must be positive numbers, got {s:?}")),
+                })
+                .collect(),
+        }
+    }
+
     /// `--KEY WxH` dimension pair (e.g. `--mesh 6x6`), if present.
     pub fn dims(&self, key: &str) -> Result<Option<(u16, u16)>, String> {
         match self.get(key) {
@@ -198,6 +215,17 @@ mod tests {
         assert!(!a.timeline().unwrap());
         let bad = Args::parse(&argv(&["--timeline", "flaky"])).unwrap();
         assert!(bad.timeline().is_err());
+    }
+
+    #[test]
+    fn floats_parse() {
+        let a = Args::parse(&argv(&["--load", "1, 3,10"])).unwrap();
+        assert_eq!(a.floats_or("load", &[2.0]).unwrap(), vec![1.0, 3.0, 10.0]);
+        assert_eq!(Args::parse(&[]).unwrap().floats_or("load", &[2.0]).unwrap(), vec![2.0]);
+        let bad = Args::parse(&argv(&["--load", "1,-3"])).unwrap();
+        assert!(bad.floats_or("load", &[]).is_err());
+        let zero = Args::parse(&argv(&["--load", "0"])).unwrap();
+        assert!(zero.floats_or("load", &[]).is_err());
     }
 
     #[test]

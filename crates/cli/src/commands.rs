@@ -44,6 +44,12 @@ USAGE:
                                           static verifier over workload mappings
                                           (default: every benchmark); exits
                                           nonzero on any Deny-level diagnostic
+  locmap overload [--apps a,b,...] [--llc L] [--scale F] [--arrivals N]
+                  [--load 1,3,10] [--require-shed 1]
+                                          open-loop overload harness: goodput,
+                                          shed rate, p50/p99 latency and the
+                                          quality-level mix at each multiple of
+                                          the measured saturation rate
 
 SCHEMES: default | la | ideal | oracle | hardware | do | la+do
 
@@ -140,7 +146,7 @@ pub fn map(args: &Args) -> Result<(), String> {
     }
     let w = build(name, args.scale()?);
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::builder(platform.clone()).build().unwrap();
+    let compiler = Compiler::builder(platform.clone()).build().map_err(String::from)?;
     for nid in w.program.nest_ids().collect::<Vec<_>>() {
         let nest = w.program.nest(nid);
         let m = compiler.map_nest(&w.program, nid, &w.data);
@@ -178,8 +184,12 @@ pub fn heat(args: &Args) -> Result<(), String> {
     }
     let w = build(name, args.scale()?);
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::builder(platform.clone()).build().unwrap();
-    let nid = w.program.nest_ids().next().expect("workload has a nest");
+    let compiler = Compiler::builder(platform.clone()).build().map_err(String::from)?;
+    let nid = w
+        .program
+        .nest_ids()
+        .next()
+        .ok_or_else(|| format!("benchmark {name:?} has no loop nests to map"))?;
 
     for (label, optimized) in [("default mapping", false), ("location-aware mapping", true)] {
         let mapping = if optimized {
@@ -187,7 +197,8 @@ pub fn heat(args: &Args) -> Result<(), String> {
         } else {
             compiler.default_mapping(&w.program, nid)
         };
-        let mut sim = locmap_sim::Simulator::builder(platform.clone()).build().unwrap();
+        let mut sim =
+            locmap_sim::Simulator::builder(platform.clone()).build().map_err(String::from)?;
         sim.run_nest(&w.program, &mapping, &w.data);
         let pressure = locmap_sim::router_pressure(&sim);
         println!(
@@ -330,7 +341,7 @@ pub fn corun(args: &Args) -> Result<(), String> {
     }
     let scale = args.scale()?;
     let platform = Platform::paper_default_with(args.llc()?);
-    let compiler = Compiler::builder(platform.clone()).build().unwrap();
+    let compiler = Compiler::builder(platform.clone()).build().map_err(String::from)?;
     let apps: Vec<_> = app_names.iter().map(|n| build(n, scale)).collect();
 
     let mut results = Vec::new();
@@ -346,7 +357,7 @@ pub fn corun(args: &Args) -> Result<(), String> {
                 }
             })
             .collect();
-        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let mut sim = Simulator::builder(platform.clone()).build().map_err(String::from)?;
         let slots: Vec<Slot<'_>> = apps
             .iter()
             .zip(&mappings)
@@ -442,6 +453,64 @@ pub fn verify(args: &Args) -> Result<(), String> {
     } else {
         Err(format!("{} Deny-level diagnostic(s)", sink.deny_count()))
     }
+}
+
+/// `locmap overload`: measure the session's saturation service rate, then
+/// drive open-loop arrival at each requested load multiple and report
+/// goodput, shed rate, latency percentiles, and the quality-level mix.
+/// Exits nonzero if any served mapping draws a Deny-level diagnostic, if
+/// an admitted request finished past its deadline, or — under
+/// `--require-shed 1` — if no overload arm (load > 1) shed anything.
+pub fn overload(args: &Args) -> Result<(), String> {
+    use locmap_bench::overload::{run_overload, OverloadConfig, OverloadReport};
+
+    let app_names = args.apps_or(&["mxm", "swim"])?;
+    for n in &app_names {
+        if !names().contains(n) {
+            return Err(format!("unknown benchmark {n:?}; see `locmap list`"));
+        }
+    }
+    let scale = args.scale()?;
+    let exp = Experiment::paper_default(args.llc()?);
+    let apps: Vec<_> = app_names.iter().map(|n| build(n, scale)).collect();
+    let cfg = OverloadConfig {
+        arrivals: args.count_or("arrivals", 120)?,
+        multipliers: args.floats_or("load", &[1.0, 3.0, 10.0])?,
+        ..OverloadConfig::default()
+    };
+    let report = run_overload(&exp, &apps, &cfg).map_err(String::from)?;
+
+    println!("apps       : {app_names:?}");
+    println!("saturation : {} work units per full-quality mapping", report.saturation_units);
+    locmap_bench::print_table(
+        "open-loop overload (F/C/H = full/cached/heuristic quality)",
+        OverloadReport::header(),
+        &report.rows(),
+    );
+
+    // CI gating: shedding may drop requests, never correctness or
+    // deadlines — and under overload it must actually drop some.
+    let denies: usize = report.arms.iter().map(|a| a.verify_denies).sum();
+    if denies > 0 {
+        return Err(format!("{denies} Deny-level diagnostic(s) on served mappings"));
+    }
+    if let Some(late) = report.arms.iter().find(|a| a.max_latency > a.relative_deadline) {
+        return Err(format!(
+            "{}x arm served a request {} units past its deadline",
+            late.multiplier,
+            late.max_latency - late.relative_deadline
+        ));
+    }
+    if args.count("require-shed")? > 0 {
+        let overloaded: Vec<_> = report.arms.iter().filter(|a| a.multiplier > 1.0).collect();
+        if overloaded.is_empty() {
+            return Err("--require-shed needs at least one arm with load > 1".into());
+        }
+        if overloaded.iter().all(|a| a.shed_rate() == 0.0) {
+            return Err("no overload arm shed any request; admission control is not engaging".into());
+        }
+    }
+    Ok(())
 }
 
 /// `locmap batch`.

@@ -11,6 +11,7 @@
 //! locmap heal --app mxm [...]         online fault-timeline replay + recovery trace
 //! locmap batch [--threads N] [...]    batch-mapping throughput
 //! locmap verify [--apps a,b] [...]    static verifier over workload mappings
+//! locmap overload [--load 1,3,10]     open-loop overload/admission harness
 //! ```
 
 mod args;
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("heal") => run(commands::heal, &argv[1..]),
         Some("batch") => run(commands::batch, &argv[1..]),
         Some("verify") => run(commands::verify, &argv[1..]),
+        Some("overload") => run(commands::overload, &argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             ExitCode::SUCCESS

@@ -42,9 +42,15 @@
 use locmap_loopir::{DataEnv, IterationSet, IterationSpace, LoopNest, Program};
 use locmap_mem::{Access as MemAccess, Cache, CacheConfig};
 use locmap_loopir::Access;
+use locmap_noc::{LocmapError, RunControl};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Iterations scanned between [`RunControl`] checkpoints inside
+/// [`CmeEstimator::estimate_ctl`]. Bounds the estimator's cancellation
+/// latency: a set token is observed within this many iterations.
+pub const CHECKPOINT_INTERVAL: u64 = 1024;
 
 /// Configuration of the compile-time cache model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -205,6 +211,26 @@ impl CmeEstimator {
         sets: &[IterationSet],
         data: &DataEnv,
     ) -> CmeEstimate {
+        self.estimate_ctl(program, nest, space, sets, data, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`estimate`](CmeEstimator::estimate) under cooperative control:
+    /// the symbolic execution checkpoints `ctl` every
+    /// [`CHECKPOINT_INTERVAL`] iterations (one budget unit per iteration
+    /// scanned), so a cancellation or exhausted budget surfaces as a
+    /// typed error within that many iterations. `completed`/`total` in
+    /// the error count iteration *sets*. An uncancelled run returns the
+    /// bit-identical estimate of [`estimate`](CmeEstimator::estimate).
+    pub fn estimate_ctl(
+        &self,
+        program: &Program,
+        nest: &LoopNest,
+        space: &IterationSpace,
+        sets: &[IterationSet],
+        data: &DataEnv,
+        ctl: &RunControl,
+    ) -> Result<CmeEstimate, LocmapError> {
         let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
         let mut l1 = Cache::new(self.cfg.l1);
         let mut llc = Cache::new(self.cfg.llc);
@@ -215,8 +241,14 @@ impl CmeEstimator {
         let mut llc_seen = vec![vec![0u32; nrefs]; sets.len()];
         let mut sampled = vec![vec![0u32; nrefs]; sets.len()];
 
-        for set in sets {
+        for (si, set) in sets.iter().enumerate() {
+            let mut pending = 0u64;
             for k in set.indices() {
+                pending += 1;
+                if pending == CHECKPOINT_INTERVAL {
+                    ctl.checkpoint(pending, si, sets.len())?;
+                    pending = 0;
+                }
                 if self.cfg.sample_rate < 1.0 && rng.gen::<f64>() >= self.cfg.sample_rate {
                     continue;
                 }
@@ -240,6 +272,7 @@ impl CmeEstimator {
                     }
                 }
             }
+            ctl.checkpoint(pending, si + 1, sets.len())?;
         }
 
         // Normalize counts to probabilities and apply the noise knob.
@@ -256,7 +289,7 @@ impl CmeEstimator {
             }
         }
 
-        CmeEstimate { hit, l1_hit: l1hit }
+        Ok(CmeEstimate { hit, l1_hit: l1hit })
     }
 }
 
@@ -379,6 +412,52 @@ mod tests {
     #[should_panic]
     fn zero_sample_rate_rejected() {
         CmeEstimator::new(CmeConfig { sample_rate: 0.0, ..CmeConfig::default() });
+    }
+
+    #[test]
+    fn ctl_path_matches_plain_estimate_bit_for_bit() {
+        use locmap_noc::RunControl;
+        let (p, space, sets) = streaming_program(8192);
+        let cfg = CmeConfig { noise: 0.1, sample_rate: 0.5, ..CmeConfig::default() };
+        let plain =
+            CmeEstimator::new(cfg).estimate(&p, &p.nests()[0], &space, &sets, &DataEnv::new());
+        let ctl = CmeEstimator::new(cfg)
+            .estimate_ctl(&p, &p.nests()[0], &space, &sets, &DataEnv::new(), &RunControl::unlimited())
+            .unwrap();
+        for s in 0..plain.set_count() {
+            assert_eq!(plain.hit_probability(s, 0), ctl.hit_probability(s, 0));
+            assert_eq!(plain.l1_hit_probability(s, 0), ctl.l1_hit_probability(s, 0));
+        }
+    }
+
+    #[test]
+    fn cancelled_estimate_returns_typed_error_with_progress() {
+        use locmap_noc::{Budget, CancelToken, LocmapError, RunControl};
+        let (p, space, sets) = streaming_program(8192);
+        let ctl = RunControl::new(CancelToken::cancel_after_polls(0), Budget::unlimited());
+        let err = CmeEstimator::new(CmeConfig::default())
+            .estimate_ctl(&p, &p.nests()[0], &space, &sets, &DataEnv::new(), &ctl)
+            .unwrap_err();
+        assert!(matches!(err, LocmapError::Cancelled { total, .. } if total == sets.len()));
+    }
+
+    #[test]
+    fn budget_bounds_estimator_work() {
+        use locmap_noc::{Budget, CancelToken, LocmapError, RunControl};
+        let (p, space, sets) = streaming_program(8192);
+        let cap = 2 * CHECKPOINT_INTERVAL;
+        let ctl = RunControl::new(CancelToken::new(), Budget::unlimited().with_work_units(cap));
+        let err = CmeEstimator::new(CmeConfig::default())
+            .estimate_ctl(&p, &p.nests()[0], &space, &sets, &DataEnv::new(), &ctl)
+            .unwrap_err();
+        match err {
+            LocmapError::DeadlineExceeded { spent_units, .. } => {
+                // Abort latency is bounded: at most one checkpoint interval
+                // past the configured budget.
+                assert!(spent_units <= cap + CHECKPOINT_INTERVAL, "spent {spent_units}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 }
 

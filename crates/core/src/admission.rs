@@ -1,0 +1,512 @@
+//! Admission control for the mapping service: bounded queues, priority
+//! classes, a quality ladder, and a circuit breaker.
+//!
+//! A mapping service under overload has three defenses, applied in order:
+//!
+//! 1. **Backpressure** — the admission queue is bounded; requests beyond
+//!    capacity are rejected with [`TryMapError::QueueFull`] instead of
+//!    queueing without limit (the caller retries, redirects, or drops).
+//! 2. **Load shedding down a quality ladder** — admitted requests are
+//!    served at a [`QualityLevel`] chosen from the current queue depth
+//!    and the request's [`Priority`]: the full CME + η-minimization
+//!    pipeline when lightly loaded, a memo-cache-only lookup under
+//!    pressure, and the O(sets) round-robin-with-locality heuristic when
+//!    saturated — mirroring the verifier-gated degradation ladder the
+//!    resilience controller uses for faults.
+//! 3. **A circuit breaker** — when the expensive path repeatedly blows
+//!    its budget ([`LocmapError::DeadlineExceeded`]), the breaker trips
+//!    [`BreakerState::Open`] and requests bypass straight to the cheap
+//!    rungs; after a cool-down it goes [`BreakerState::HalfOpen`] and
+//!    probes the expensive path, closing again only after consecutive
+//!    successes. All breaker clocks are *observation counts*, not wall
+//!    time, so its state machine is deterministic and unit-testable.
+//!
+//! The types here are pure data structures (no threads); a
+//! [`crate::MappingSession`] embeds them behind a mutex, and
+//! `bench::overload` drives them open-loop to measure goodput, shed
+//! rate and tail latency.
+
+use locmap_noc::LocmapError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Priority class of an admitted request. Higher classes are dequeued
+/// first and ride the quality ladder further before being degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Shed first: background / speculative work.
+    Low,
+    /// The default class.
+    Normal,
+    /// Shed last: latency-critical foreground work.
+    High,
+}
+
+impl Priority {
+    /// All classes, highest first (dequeue order).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Low => write!(f, "low"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// The rung of the quality ladder a request was served at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QualityLevel {
+    /// Round-robin-with-locality heuristic: O(sets), no analysis.
+    Heuristic,
+    /// Memo-cache lookup only; falls to [`QualityLevel::Heuristic`] on a
+    /// miss.
+    Cached,
+    /// The full CME + affinity + η-minimization pipeline.
+    Full,
+}
+
+impl fmt::Display for QualityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityLevel::Heuristic => write!(f, "heuristic"),
+            QualityLevel::Cached => write!(f, "cached"),
+            QualityLevel::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryMapError {
+    /// The bounded admission queue is at capacity; the request was shed
+    /// *before* any mapping work was spent on it.
+    QueueFull {
+        /// Requests in flight when the rejection happened.
+        depth: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The request's wall deadline had already expired at admission; no
+    /// mapping work was spent on a result nobody can use.
+    DeadlineExpired,
+    /// Mapping itself failed with a typed error (cancellation, invalid
+    /// configuration, ...).
+    Mapping(LocmapError),
+}
+
+impl fmt::Display for TryMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryMapError::QueueFull { depth, capacity } => {
+                write!(f, "admission queue full ({depth}/{capacity} in flight)")
+            }
+            TryMapError::DeadlineExpired => {
+                write!(f, "request deadline expired before admission")
+            }
+            TryMapError::Mapping(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TryMapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TryMapError::Mapping(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LocmapError> for TryMapError {
+    fn from(e: LocmapError) -> Self {
+        TryMapError::Mapping(e)
+    }
+}
+
+/// Tunables of the admission layer (see the module docs for the overall
+/// scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Hard bound on requests in flight; beyond it,
+    /// [`TryMapError::QueueFull`].
+    pub capacity: usize,
+    /// Depth up to which a [`Priority::Normal`] request is served
+    /// [`QualityLevel::Full`].
+    pub degrade_depth: usize,
+    /// Depth up to which a [`Priority::Normal`] request is served at
+    /// least [`QualityLevel::Cached`]; beyond it, straight to the
+    /// heuristic.
+    pub heuristic_depth: usize,
+    /// Circuit-breaker tuning for the expensive path.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 64,
+            degrade_depth: 8,
+            heuristic_depth: 24,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The [`QualityLevel`] for a request of `priority` admitted at queue
+    /// depth `depth` (1 = the request is alone).
+    ///
+    /// [`Priority::High`] tolerates twice the configured depths before
+    /// degrading; [`Priority::Low`] only half — so under one load, the
+    /// classes shed quality in order.
+    pub fn quality_for(&self, depth: usize, priority: Priority) -> QualityLevel {
+        let (degrade, heuristic) = match priority {
+            Priority::High => (self.degrade_depth * 2, self.heuristic_depth * 2),
+            Priority::Normal => (self.degrade_depth, self.heuristic_depth),
+            Priority::Low => (self.degrade_depth / 2, self.heuristic_depth / 2),
+        };
+        if depth <= degrade.max(1) {
+            QualityLevel::Full
+        } else if depth <= heuristic.max(1) {
+            QualityLevel::Cached
+        } else {
+            QualityLevel::Heuristic
+        }
+    }
+}
+
+/// A bounded multi-class FIFO: one queue per [`Priority`], dequeued
+/// highest class first, FIFO within a class, with one shared capacity so
+/// a flood of low-priority work still backpressures instead of starving
+/// memory.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    classes: [VecDeque<T>; 3],
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` items across all
+    /// classes (`capacity` 0 is clamped to 1 — a queue that can hold
+    /// nothing would shed everything).
+    pub fn bounded(capacity: usize) -> Self {
+        AdmissionQueue {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or rejects it with [`TryMapError::QueueFull`]
+    /// when the shared bound is reached.
+    pub fn try_push(&mut self, priority: Priority, item: T) -> Result<(), TryMapError> {
+        let depth = self.len();
+        if depth >= self.capacity {
+            return Err(TryMapError::QueueFull { depth, capacity: self.capacity });
+        }
+        self.classes[priority.index()].push_back(item);
+        Ok(())
+    }
+
+    /// Dequeues the oldest item of the highest non-empty class.
+    pub fn pop(&mut self) -> Option<(Priority, T)> {
+        for p in Priority::ALL {
+            if let Some(item) = self.classes[p.index()].pop_front() {
+                return Some((p, item));
+            }
+        }
+        None
+    }
+
+    /// Items queued across all classes.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+
+    /// The shared capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Circuit-breaker tuning. All windows count *observations* (requests
+/// that consulted the breaker), not wall time, so the state machine is
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Budget blows within [`BreakerConfig::strike_window`] that trip the
+    /// breaker open.
+    pub strike_threshold: u32,
+    /// Sliding window (in observations) strikes are counted over.
+    pub strike_window: u64,
+    /// Observations the breaker stays open before probing
+    /// ([`BreakerState::HalfOpen`]).
+    pub cooldown: u64,
+    /// Consecutive half-open successes required to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { strike_threshold: 3, strike_window: 16, cooldown: 8, half_open_probes: 2 }
+    }
+}
+
+/// The breaker's position (standard three-state circuit breaker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Expensive path allowed; strikes are being counted.
+    Closed,
+    /// Expensive path bypassed; cooling down.
+    Open,
+    /// Probing: expensive path allowed, watched closely — one failure
+    /// reopens, [`BreakerConfig::half_open_probes`] successes close.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// A deterministic circuit breaker around the expensive mapping path.
+///
+/// The same strike-window idea as
+/// [`crate::resilience::RetryPolicy`]-driven fault quarantine: repeated
+/// recent failures mean the path is *currently* hopeless, so stop paying
+/// for it; periodically probe to notice recovery.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Observation counter: the breaker's deterministic clock.
+    now: u64,
+    /// Observation stamps of recent failures (Closed state only).
+    strikes: VecDeque<u64>,
+    /// When the breaker last tripped open.
+    opened_at: u64,
+    /// Consecutive successful probes while half-open.
+    probe_successes: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with tuning `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            now: 0,
+            strikes: VecDeque::new(),
+            opened_at: 0,
+            probe_successes: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// One observation: may this request take the expensive path?
+    ///
+    /// Advances the deterministic clock; while open, the cool-down is
+    /// measured in these calls, so a breaker only un-trips under traffic
+    /// (exactly when probing is meaningful).
+    pub fn admit_expensive(&mut self) -> bool {
+        self.now += 1;
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.now.saturating_sub(self.opened_at) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The admitted expensive request finished within budget.
+    pub fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_successes += 1;
+            if self.probe_successes >= self.cfg.half_open_probes {
+                self.state = BreakerState::Closed;
+                self.strikes.clear();
+            }
+        }
+    }
+
+    /// The admitted expensive request blew its budget.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Closed => {
+                self.strikes.push_back(self.now);
+                while let Some(&t) = self.strikes.front() {
+                    if self.now.saturating_sub(t) >= self.cfg.strike_window {
+                        self.strikes.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.strikes.len() >= self.cfg.strike_threshold as usize {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = self.now;
+        self.strikes.clear();
+        self.probe_successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_class_then_fifo() {
+        let mut q = AdmissionQueue::bounded(8);
+        q.try_push(Priority::Low, "l1").unwrap();
+        q.try_push(Priority::Normal, "n1").unwrap();
+        q.try_push(Priority::High, "h1").unwrap();
+        q.try_push(Priority::Normal, "n2").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, ["h1", "n1", "n2", "l1"]);
+    }
+
+    #[test]
+    fn queue_backpressures_at_shared_capacity() {
+        let mut q = AdmissionQueue::bounded(2);
+        q.try_push(Priority::Low, 1).unwrap();
+        q.try_push(Priority::High, 2).unwrap();
+        let err = q.try_push(Priority::High, 3).unwrap_err();
+        assert_eq!(err, TryMapError::QueueFull { depth: 2, capacity: 2 });
+        // Draining frees the bound.
+        assert_eq!(q.pop(), Some((Priority::High, 2)));
+        q.try_push(Priority::Normal, 4).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn quality_degrades_with_depth_and_priority() {
+        let cfg = AdmissionConfig::default();
+        assert_eq!(cfg.quality_for(1, Priority::Normal), QualityLevel::Full);
+        assert_eq!(cfg.quality_for(cfg.degrade_depth + 1, Priority::Normal), QualityLevel::Cached);
+        assert_eq!(
+            cfg.quality_for(cfg.heuristic_depth + 1, Priority::Normal),
+            QualityLevel::Heuristic
+        );
+        // At the same depth, higher priority keeps higher quality.
+        let d = cfg.degrade_depth + 1;
+        assert_eq!(cfg.quality_for(d, Priority::High), QualityLevel::Full);
+        assert_eq!(cfg.quality_for(d, Priority::Low), QualityLevel::Cached);
+        assert!(cfg.quality_for(3 * cfg.heuristic_depth, Priority::High) == QualityLevel::Heuristic);
+    }
+
+    #[test]
+    fn breaker_trips_after_strikes_in_window() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        for _ in 0..3 {
+            assert!(b.admit_expensive());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit_expensive(), "open breaker bypasses the expensive path");
+    }
+
+    #[test]
+    fn old_strikes_age_out_of_the_window() {
+        let cfg = BreakerConfig { strike_threshold: 3, strike_window: 4, ..Default::default() };
+        let mut b = CircuitBreaker::new(cfg);
+        // Two strikes, then enough successes to age them past the window.
+        for _ in 0..2 {
+            assert!(b.admit_expensive());
+            b.record_failure();
+        }
+        for _ in 0..6 {
+            assert!(b.admit_expensive());
+            b.record_success();
+        }
+        assert!(b.admit_expensive());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "stale strikes must not count");
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probes() {
+        let cfg = BreakerConfig::default();
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.strike_threshold {
+            b.admit_expensive();
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cool down under traffic.
+        for _ in 0..cfg.cooldown - 1 {
+            assert!(!b.admit_expensive());
+        }
+        assert!(b.admit_expensive(), "cooled-down breaker probes");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert!(b.admit_expensive());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "enough probes close the breaker");
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let cfg = BreakerConfig::default();
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.strike_threshold {
+            b.admit_expensive();
+            b.record_failure();
+        }
+        for _ in 0..cfg.cooldown {
+            b.admit_expensive();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+        assert!(!b.admit_expensive());
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = TryMapError::QueueFull { depth: 64, capacity: 64 };
+        assert!(e.to_string().contains("64/64"));
+        assert!(TryMapError::DeadlineExpired.to_string().contains("deadline"));
+        let e = TryMapError::from(LocmapError::Cancelled { completed: 1, total: 2 });
+        assert!(e.to_string().contains("cancelled"));
+    }
+}

@@ -14,6 +14,7 @@ use crate::platform::Platform;
 use crate::vectors::AffinityVec;
 use locmap_loopir::{DataEnv, IterationSet, IterationSpace, LoopNest, Program};
 use locmap_mem::PhysAddr;
+use locmap_noc::{LocmapError, RunControl};
 
 /// Everything needed to resolve an iteration set's accesses.
 #[derive(Debug, Clone, Copy)]
@@ -58,31 +59,46 @@ pub fn compute_mai(
     platform: &Platform,
     model: &dyn HitModel,
 ) -> Vec<AffinityVec> {
+    compute_mai_ctl(inputs, platform, model, &RunControl::unlimited())
+        .expect("an unlimited RunControl never aborts")
+}
+
+/// [`compute_mai`] under cooperative control: checkpoints after every
+/// iteration set (one budget unit per sampled iteration scanned), so a
+/// cancellation surfaces within one set's worth of work. An uncancelled
+/// run returns the bit-identical table of [`compute_mai`].
+pub fn compute_mai_ctl(
+    inputs: &AffinityInputs<'_>,
+    platform: &Platform,
+    model: &dyn HitModel,
+    ctl: &RunControl,
+) -> Result<Vec<AffinityVec>, LocmapError> {
     let m = platform.mc_count();
-    inputs
-        .sets
-        .iter()
-        .map(|set| {
-            let mut w = vec![0.0f64; m];
-            let mut total = 0.0f64;
-            for k in inputs.sampled_indices(set) {
-                let iv = inputs.space.get(k);
-                for (ri, r) in inputs.nest.refs.iter().enumerate() {
-                    let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
-                    total += 1.0;
-                    let reach_llc = 1.0 - model.l1_hit(set.id, ri);
-                    let p_miss = reach_llc * (1.0 - model.llc_hit(set.id, ri));
-                    if p_miss > 0.0 {
-                        w[platform.addr_map.mc_of(addr).index()] += p_miss;
-                    }
+    let mut out = Vec::with_capacity(inputs.sets.len());
+    for (si, set) in inputs.sets.iter().enumerate() {
+        let mut w = vec![0.0f64; m];
+        let mut total = 0.0f64;
+        let mut scanned = 0u64;
+        for k in inputs.sampled_indices(set) {
+            scanned += 1;
+            let iv = inputs.space.get(k);
+            for (ri, r) in inputs.nest.refs.iter().enumerate() {
+                let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
+                total += 1.0;
+                let reach_llc = 1.0 - model.l1_hit(set.id, ri);
+                let p_miss = reach_llc * (1.0 - model.llc_hit(set.id, ri));
+                if p_miss > 0.0 {
+                    w[platform.addr_map.mc_of(addr).index()] += p_miss;
                 }
             }
-            if total > 0.0 {
-                w.iter_mut().for_each(|x| *x /= total);
-            }
-            AffinityVec(w)
-        })
-        .collect()
+        }
+        if total > 0.0 {
+            w.iter_mut().for_each(|x| *x /= total);
+        }
+        out.push(AffinityVec(w));
+        ctl.checkpoint(scanned, si + 1, inputs.sets.len())?;
+    }
+    Ok(out)
 }
 
 /// Computes CAI for every iteration set: entry `j` is the fraction of the
@@ -95,33 +111,46 @@ pub fn compute_cai(
     platform: &Platform,
     model: &dyn HitModel,
 ) -> Vec<AffinityVec> {
+    compute_cai_ctl(inputs, platform, model, &RunControl::unlimited())
+        .expect("an unlimited RunControl never aborts")
+}
+
+/// [`compute_cai`] under cooperative control (see [`compute_mai_ctl`] for
+/// the checkpointing contract).
+pub fn compute_cai_ctl(
+    inputs: &AffinityInputs<'_>,
+    platform: &Platform,
+    model: &dyn HitModel,
+    ctl: &RunControl,
+) -> Result<Vec<AffinityVec>, LocmapError> {
     let nregions = platform.region_count();
-    inputs
-        .sets
-        .iter()
-        .map(|set| {
-            let mut w = vec![0.0f64; nregions];
-            let mut total = 0.0f64;
-            for k in inputs.sampled_indices(set) {
-                let iv = inputs.space.get(k);
-                for (ri, r) in inputs.nest.refs.iter().enumerate() {
-                    let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
-                    total += 1.0;
-                    let reach_llc = 1.0 - model.l1_hit(set.id, ri);
-                    let p_hit = reach_llc * model.llc_hit(set.id, ri);
-                    if p_hit > 0.0 {
-                        let bank = platform.addr_map.llc_bank_of(addr);
-                        let region = platform.regions.region_of(platform.bank_node(bank));
-                        w[region.index()] += p_hit;
-                    }
+    let mut out = Vec::with_capacity(inputs.sets.len());
+    for (si, set) in inputs.sets.iter().enumerate() {
+        let mut w = vec![0.0f64; nregions];
+        let mut total = 0.0f64;
+        let mut scanned = 0u64;
+        for k in inputs.sampled_indices(set) {
+            scanned += 1;
+            let iv = inputs.space.get(k);
+            for (ri, r) in inputs.nest.refs.iter().enumerate() {
+                let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
+                total += 1.0;
+                let reach_llc = 1.0 - model.l1_hit(set.id, ri);
+                let p_hit = reach_llc * model.llc_hit(set.id, ri);
+                if p_hit > 0.0 {
+                    let bank = platform.addr_map.llc_bank_of(addr);
+                    let region = platform.regions.region_of(platform.bank_node(bank));
+                    w[region.index()] += p_hit;
                 }
             }
-            if total > 0.0 {
-                w.iter_mut().for_each(|x| *x /= total);
-            }
-            AffinityVec(w)
-        })
-        .collect()
+        }
+        if total > 0.0 {
+            w.iter_mut().for_each(|x| *x /= total);
+        }
+        out.push(AffinityVec(w));
+        ctl.checkpoint(scanned, si + 1, inputs.sets.len())?;
+    }
+    Ok(out)
 }
 
 /// Computes the *reaching* CAI for every iteration set: entry `j` is the
@@ -140,32 +169,45 @@ pub fn compute_cai_reaching(
     platform: &Platform,
     model: &dyn HitModel,
 ) -> Vec<AffinityVec> {
+    compute_cai_reaching_ctl(inputs, platform, model, &RunControl::unlimited())
+        .expect("an unlimited RunControl never aborts")
+}
+
+/// [`compute_cai_reaching`] under cooperative control (see
+/// [`compute_mai_ctl`] for the checkpointing contract).
+pub fn compute_cai_reaching_ctl(
+    inputs: &AffinityInputs<'_>,
+    platform: &Platform,
+    model: &dyn HitModel,
+    ctl: &RunControl,
+) -> Result<Vec<AffinityVec>, LocmapError> {
     let nregions = platform.region_count();
-    inputs
-        .sets
-        .iter()
-        .map(|set| {
-            let mut w = vec![0.0f64; nregions];
-            let mut total = 0.0f64;
-            for k in inputs.sampled_indices(set) {
-                let iv = inputs.space.get(k);
-                for (ri, r) in inputs.nest.refs.iter().enumerate() {
-                    let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
-                    total += 1.0;
-                    let reach_llc = 1.0 - model.l1_hit(set.id, ri);
-                    if reach_llc > 0.0 {
-                        let bank = platform.addr_map.llc_bank_of(addr);
-                        let region = platform.regions.region_of(platform.bank_node(bank));
-                        w[region.index()] += reach_llc;
-                    }
+    let mut out = Vec::with_capacity(inputs.sets.len());
+    for (si, set) in inputs.sets.iter().enumerate() {
+        let mut w = vec![0.0f64; nregions];
+        let mut total = 0.0f64;
+        let mut scanned = 0u64;
+        for k in inputs.sampled_indices(set) {
+            scanned += 1;
+            let iv = inputs.space.get(k);
+            for (ri, r) in inputs.nest.refs.iter().enumerate() {
+                let addr = PhysAddr(inputs.program.resolve(r, iv, inputs.data));
+                total += 1.0;
+                let reach_llc = 1.0 - model.l1_hit(set.id, ri);
+                if reach_llc > 0.0 {
+                    let bank = platform.addr_map.llc_bank_of(addr);
+                    let region = platform.regions.region_of(platform.bank_node(bank));
+                    w[region.index()] += reach_llc;
                 }
             }
-            if total > 0.0 {
-                w.iter_mut().for_each(|x| *x /= total);
-            }
-            AffinityVec(w)
-        })
-        .collect()
+        }
+        if total > 0.0 {
+            w.iter_mut().for_each(|x| *x /= total);
+        }
+        out.push(AffinityVec(w));
+        ctl.checkpoint(scanned, si + 1, inputs.sets.len())?;
+    }
+    Ok(out)
 }
 
 /// Mean η between two per-set affinity vector tables — the paper's

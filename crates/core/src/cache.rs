@@ -218,9 +218,18 @@ impl CacheStats {
     }
 }
 
-/// A pending computation another worker can wait on: the value slot plus
-/// the condvar that announces it.
-type InFlight<V> = Arc<(Mutex<Option<V>>, Condvar)>;
+/// What a claimed computation announced to its waiters: a finished value,
+/// or an abort (cancellation, budget blow, typed failure) after which the
+/// key is free to claim again.
+#[derive(Debug)]
+enum Outcome<V> {
+    Done(V),
+    Aborted,
+}
+
+/// A pending computation another worker can wait on: the outcome slot
+/// plus the condvar that announces it.
+type InFlight<V> = Arc<(Mutex<Option<Outcome<V>>>, Condvar)>;
 
 /// One cache slot: either a finished value or a computation in flight.
 #[derive(Debug)]
@@ -274,7 +283,7 @@ impl<V: Clone> MemoCache<V> {
         let prev =
             self.map.write().expect("memo cache poisoned").insert(key, Slot::Ready(value.clone()));
         if let Some(Slot::Pending(cell)) = prev {
-            Self::publish(&cell, value);
+            Self::publish(&cell, Outcome::Done(value));
         }
     }
 
@@ -285,48 +294,98 @@ impl<V: Clone> MemoCache<V> {
     /// was already computing it and this call waited for that result.
     /// `compute` runs outside every cache lock, so unrelated keys proceed
     /// in parallel; it must not panic, or waiters on this key would block
-    /// forever.
+    /// forever. Computations that can abort (cancellation, budgets) go
+    /// through [`get_or_try_insert_with`](MemoCache::get_or_try_insert_with)
+    /// instead, which cleans the slot up on failure.
     pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> V) -> (V, bool) {
-        let cell: InFlight<V> = {
-            let mut map = self.map.write().expect("memo cache poisoned");
-            match map.get(&key) {
-                Some(Slot::Ready(v)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (v.clone(), true);
-                }
-                Some(Slot::Pending(cell)) => {
-                    // Someone else is computing this key: wait below.
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    let cell = cell.clone();
-                    drop(map);
-                    let (slot, ready) = &*cell;
-                    let mut value = slot.lock().expect("in-flight slot poisoned");
-                    while value.is_none() {
-                        value = ready.wait(value).expect("in-flight slot poisoned");
-                    }
-                    return (value.clone().expect("checked above"), true);
-                }
-                None => {
-                    let cell: InFlight<V> = Arc::new((Mutex::new(None), Condvar::new()));
-                    map.insert(key, Slot::Pending(cell.clone()));
-                    cell
-                }
-            }
-        };
-
-        // This worker claimed the key; compute with no cache lock held.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = compute();
-        // Publish through the claimed cell (waiters hold their own Arc to
-        // it, so they wake even if `clear` raced and dropped the map slot).
-        Self::publish(&cell, value.clone());
-        self.map.write().expect("memo cache poisoned").insert(key, Slot::Ready(value.clone()));
-        (value, false)
+        match self.get_or_try_insert_with(key, || Ok::<V, std::convert::Infallible>(compute())) {
+            Ok(r) => r,
+            Err(e) => match e {},
+        }
     }
 
-    fn publish(cell: &InFlight<V>, value: V) {
+    /// Fallible [`get_or_insert_with`](MemoCache::get_or_insert_with): a
+    /// `compute` that returns `Err` (cancelled, over budget, failed) never
+    /// poisons the table. The pending slot is removed, the error is
+    /// propagated to the claiming caller, and any workers waiting on the
+    /// key wake up and re-claim it — an aborted computation is never
+    /// served as a result, and no waiter deadlocks on it.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        let mut compute = Some(compute);
+        loop {
+            let cell: InFlight<V> = {
+                let mut map = self.map.write().expect("memo cache poisoned");
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((v.clone(), true));
+                    }
+                    Some(Slot::Pending(cell)) => {
+                        // Someone else is computing this key: wait below.
+                        let cell = cell.clone();
+                        drop(map);
+                        let (slot, ready) = &*cell;
+                        let mut outcome = slot.lock().expect("in-flight slot poisoned");
+                        while outcome.is_none() {
+                            outcome = ready.wait(outcome).expect("in-flight slot poisoned");
+                        }
+                        match outcome.as_ref().expect("checked above") {
+                            Outcome::Done(v) => {
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                return Ok((v.clone(), true));
+                            }
+                            // The claimant aborted; the key is claimable
+                            // again. Loop back and try to claim it.
+                            Outcome::Aborted => continue,
+                        }
+                    }
+                    None => {
+                        let cell: InFlight<V> = Arc::new((Mutex::new(None), Condvar::new()));
+                        map.insert(key, Slot::Pending(cell.clone()));
+                        cell
+                    }
+                }
+            };
+
+            // This worker claimed the key; compute with no cache lock held.
+            // (`compute` is present: only the claiming path consumes it,
+            // and claiming returns unconditionally below.)
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            match (compute.take().expect("claimed twice"))() {
+                Ok(value) => {
+                    // Publish through the claimed cell (waiters hold their
+                    // own Arc to it, so they wake even if `clear` raced and
+                    // dropped the map slot).
+                    Self::publish(&cell, Outcome::Done(value.clone()));
+                    self.map
+                        .write()
+                        .expect("memo cache poisoned")
+                        .insert(key, Slot::Ready(value.clone()));
+                    return Ok((value, false));
+                }
+                Err(e) => {
+                    // Free the key (only if the slot is still ours — a
+                    // racing `insert` may have replaced it) and wake every
+                    // waiter so they can re-claim.
+                    let mut map = self.map.write().expect("memo cache poisoned");
+                    if matches!(map.get(&key), Some(Slot::Pending(c)) if Arc::ptr_eq(c, &cell)) {
+                        map.remove(&key);
+                    }
+                    drop(map);
+                    Self::publish(&cell, Outcome::Aborted);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn publish(cell: &InFlight<V>, outcome: Outcome<V>) {
         let (slot, ready) = &**cell;
-        *slot.lock().expect("in-flight slot poisoned") = Some(value);
+        *slot.lock().expect("in-flight slot poisoned") = Some(outcome);
         ready.notify_all();
     }
 
@@ -435,6 +494,56 @@ mod tests {
         assert_eq!(computed.load(Ordering::Relaxed), 1, "in-flight dedup must hold");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (3, 1, 1));
+    }
+
+    #[test]
+    fn aborted_compute_frees_the_key() {
+        let cache: MemoCache<u32> = MemoCache::new();
+        let k = fingerprint(|h| h.write_u64(5));
+        let r: Result<(u32, bool), &str> = cache.get_or_try_insert_with(k, || Err("cancelled"));
+        assert_eq!(r, Err("cancelled"));
+        assert_eq!(cache.stats().entries, 0, "aborted compute must not leave a slot");
+        // The key is immediately claimable again and serves the retry.
+        let (v, cached) = cache.get_or_insert_with(k, || 11);
+        assert_eq!((v, cached), (11, false));
+        assert_eq!(cache.get(&k), Some(11));
+    }
+
+    #[test]
+    fn waiters_on_an_aborted_compute_wake_and_reclaim() {
+        use std::sync::atomic::AtomicU32;
+        use std::time::Duration;
+
+        let cache: MemoCache<u32> = MemoCache::new();
+        let k = fingerprint(|h| h.write_u64(13));
+        let recomputed = AtomicU32::new(0);
+        let values: Vec<u32> = std::thread::scope(|s| {
+            let claimant = s.spawn(|| {
+                let r: Result<(u32, bool), &str> = cache.get_or_try_insert_with(k, || {
+                    // Give the waiters time to pile onto the pending slot.
+                    std::thread::sleep(Duration::from_millis(40));
+                    Err("budget blown")
+                });
+                assert!(r.is_err());
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (v, _) = cache.get_or_insert_with(k, || {
+                            recomputed.fetch_add(1, Ordering::Relaxed);
+                            33
+                        });
+                        v
+                    })
+                })
+                .collect();
+            claimant.join().unwrap();
+            waiters.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 33), "no waiter may observe the aborted value");
+        assert_eq!(recomputed.load(Ordering::Relaxed), 1, "exactly one waiter re-claims");
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

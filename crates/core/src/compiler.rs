@@ -9,7 +9,9 @@
 //! `needs_inspector`, and the [`crate::Inspector`] recomputes the mapping at
 //! runtime from observed behavior.
 
-use crate::affinity::{compute_cai, compute_cai_reaching, compute_mai, AffinityInputs};
+use crate::affinity::{
+    compute_cai_ctl, compute_cai_reaching_ctl, compute_mai_ctl, AffinityInputs,
+};
 use crate::assign::{assign_private, assign_shared, AlphaPolicy};
 use crate::balance::{balance_regions_masked, BalanceReport};
 use crate::hits::{AllMissModel, CmeModel, HitModel};
@@ -18,7 +20,7 @@ use crate::platform::{LlcOrg, Platform};
 use crate::vectors::{AffinityVec, Cac, CacPolicy, EtaMetric, Mac, MacPolicy};
 use locmap_cme::{CmeConfig, CmeEstimate, CmeEstimator};
 use locmap_loopir::{DataEnv, IterationSet, IterationSpace, NestId, Program};
-use locmap_noc::{FaultState, LocmapError, NodeId, RegionId};
+use locmap_noc::{FaultState, LocmapError, NodeId, RegionId, RunControl};
 use serde::{Deserialize, Serialize};
 
 /// How the shared-LLC (S-NUCA) assignment objective treats LLC misses.
@@ -392,6 +394,23 @@ impl Compiler {
         self.map_nest_with_estimate(program, nest_id, data, estimate)
     }
 
+    /// [`Compiler::map_nest`] under cooperative control: both the CME
+    /// analysis and the affinity/mapping phases checkpoint `ctl`, so a
+    /// cancellation or exhausted budget aborts within a bounded number of
+    /// iterations and surfaces as [`LocmapError::Cancelled`] /
+    /// [`LocmapError::DeadlineExceeded`]. An uncancelled run returns the
+    /// bit-identical mapping of [`Compiler::map_nest`].
+    pub fn map_nest_ctl(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        ctl: &RunControl,
+    ) -> Result<NestMapping, LocmapError> {
+        let estimate = self.estimate_nest_ctl(program, nest_id, data, ctl)?;
+        self.map_nest_with_estimate_ctl(program, nest_id, data, estimate, ctl)
+    }
+
     /// Runs only the CME analysis phase of [`Compiler::map_nest`].
     ///
     /// Returns `None` when CME is disabled or the nest has index arrays
@@ -405,13 +424,29 @@ impl Compiler {
         nest_id: NestId,
         data: &DataEnv,
     ) -> Option<CmeEstimate> {
+        self.estimate_nest_ctl(program, nest_id, data, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`Compiler::estimate_nest`] under cooperative control: the CME
+    /// symbolic execution checkpoints `ctl` every
+    /// [`locmap_cme::CHECKPOINT_INTERVAL`] iterations.
+    pub fn estimate_nest_ctl(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        ctl: &RunControl,
+    ) -> Result<Option<CmeEstimate>, LocmapError> {
         let nest = program.nest(nest_id);
         if !self.options.use_cme || !Self::resolvable(nest, data) {
-            return None;
+            return Ok(None);
         }
         let space = IterationSpace::enumerate(nest, &program.params());
         let sets = space.split_by_fraction(self.options.iteration_set_fraction);
-        Some(CmeEstimator::new(self.options.cme).estimate(program, nest, &space, &sets, data))
+        CmeEstimator::new(self.options.cme)
+            .estimate_ctl(program, nest, &space, &sets, data, ctl)
+            .map(Some)
     }
 
     /// Completes [`Compiler::map_nest`] from a precomputed CME estimate.
@@ -426,6 +461,20 @@ impl Compiler {
         data: &DataEnv,
         estimate: Option<CmeEstimate>,
     ) -> NestMapping {
+        self.map_nest_with_estimate_ctl(program, nest_id, data, estimate, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`Compiler::map_nest_with_estimate`] under cooperative control
+    /// (see [`Compiler::map_nest_ctl`] for the abort contract).
+    pub fn map_nest_with_estimate_ctl(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        estimate: Option<CmeEstimate>,
+        ctl: &RunControl,
+    ) -> Result<NestMapping, LocmapError> {
         let nest = program.nest(nest_id);
         let space = IterationSpace::enumerate(nest, &program.params());
         let sets = space.split_by_fraction(self.options.iteration_set_fraction);
@@ -434,21 +483,21 @@ impl Compiler {
             // Compile time cannot see through index arrays: emit the
             // default schedule; the inspector will redo it at runtime.
             let mapping = self.round_robin_schedule(nest_id, &sets);
-            return NestMapping { needs_inspector: true, ..mapping };
+            return Ok(NestMapping { needs_inspector: true, ..mapping });
         }
 
         match estimate {
             Some(e) => {
                 let model = CmeModel::new(e);
-                self.map_with_model(program, nest_id, data, &space, sets, &model)
+                self.map_with_model(program, nest_id, data, &space, sets, &model, ctl)
             }
             None if self.options.use_cme => {
                 let estimator = CmeEstimator::new(self.options.cme);
-                let e = estimator.estimate(program, nest, &space, &sets, data);
+                let e = estimator.estimate_ctl(program, nest, &space, &sets, data, ctl)?;
                 let model = CmeModel::new(e);
-                self.map_with_model(program, nest_id, data, &space, sets, &model)
+                self.map_with_model(program, nest_id, data, &space, sets, &model, ctl)
             }
-            None => self.map_with_model(program, nest_id, data, &space, sets, &AllMissModel),
+            None => self.map_with_model(program, nest_id, data, &space, sets, &AllMissModel, ctl),
         }
     }
 
@@ -471,12 +520,28 @@ impl Compiler {
         data: &DataEnv,
         model: &dyn HitModel,
     ) -> NestMapping {
+        self.map_nest_with_model_ctl(program, nest_id, data, model, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`Compiler::map_nest_with_model`] under cooperative control (see
+    /// [`Compiler::map_nest_ctl`] for the abort contract) — the entry
+    /// point for a deadline-bounded inspector.
+    pub fn map_nest_with_model_ctl(
+        &self,
+        program: &Program,
+        nest_id: NestId,
+        data: &DataEnv,
+        model: &dyn HitModel,
+        ctl: &RunControl,
+    ) -> Result<NestMapping, LocmapError> {
         let nest = program.nest(nest_id);
         let space = IterationSpace::enumerate(nest, &program.params());
         let sets = space.split_by_fraction(self.options.iteration_set_fraction);
-        self.map_with_model(program, nest_id, data, &space, sets, model)
+        self.map_with_model(program, nest_id, data, &space, sets, model, ctl)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn map_with_model(
         &self,
         program: &Program,
@@ -485,7 +550,8 @@ impl Compiler {
         space: &IterationSpace,
         sets: Vec<IterationSet>,
         model: &dyn HitModel,
-    ) -> NestMapping {
+        ctl: &RunControl,
+    ) -> Result<NestMapping, LocmapError> {
         let nest = program.nest(nest_id);
         let inputs = AffinityInputs {
             program,
@@ -501,7 +567,7 @@ impl Compiler {
         // comparison against MAC/CAC — which are unit-mass preference
         // vectors — only the *direction* matters, so compare normalized
         // copies; the hit/miss magnitude split is what α carries.
-        let mut mai = compute_mai(&inputs, &self.platform, model);
+        let mut mai = compute_mai_ctl(&inputs, &self.platform, model, ctl)?;
         if let Some(d) = &self.degraded {
             // Traffic aimed at a dead MC is served by its redirect target;
             // give the affinity weight to where the requests actually go.
@@ -518,10 +584,10 @@ impl Compiler {
             LlcOrg::SharedSNuca => {
                 let mut cai = match self.options.shared_objective {
                     SharedObjective::BankDistance => {
-                        compute_cai_reaching(&inputs, &self.platform, model)
+                        compute_cai_reaching_ctl(&inputs, &self.platform, model, ctl)?
                     }
                     SharedObjective::PaperAlphaBlend => {
-                        compute_cai(&inputs, &self.platform, model)
+                        compute_cai_ctl(&inputs, &self.platform, model, ctl)?
                     }
                 };
                 if let Some(d) = &self.degraded {
@@ -593,7 +659,7 @@ impl Compiler {
             None => place_in_regions(&regions, &self.platform.regions, self.options.placement),
         };
 
-        NestMapping {
+        Ok(NestMapping {
             nest: nest_id,
             sets,
             regions,
@@ -603,7 +669,7 @@ impl Compiler {
             mai,
             cai,
             alphas,
-        }
+        })
     }
 
     /// The evaluation's *default mapping* baseline: iteration sets dealt to
@@ -640,6 +706,62 @@ impl Compiler {
         let space = IterationSpace::enumerate(nest, &program.params());
         let sets = space.split_by_fraction(self.options.iteration_set_fraction);
         self.round_robin_schedule(nest_id, &sets)
+    }
+
+    /// The overload-shedding heuristic: round-robin *with locality*.
+    ///
+    /// Unlike [`Compiler::round_robin_schedule`] — which deals sets to
+    /// cores individually and scatters neighboring sets across the chip —
+    /// this keeps *contiguous blocks* of iteration sets together in one
+    /// region (neighboring sets touch neighboring data, the premise of
+    /// iteration sets), dealing the blocks over alive regions in order.
+    /// No CME, no affinity scan, no balancing: cost is O(sets), which is
+    /// what lets an overloaded service shed to it. Region loads stay
+    /// within ±1 set, and cores are picked by the configured placement
+    /// policy, so the result passes the verifier's coverage, shape and
+    /// region-membership passes.
+    pub fn locality_schedule(&self, nest_id: NestId, sets: &[IterationSet]) -> NestMapping {
+        let regions = &self.platform.regions;
+        let alive: Vec<RegionId> = match &self.degraded {
+            Some(d) => regions.regions().filter(|r| d.alive_regions[r.index()]).collect(),
+            None => regions.regions().collect(),
+        };
+        let n = sets.len();
+        // Block deal: set s lands in alive region floor(s * |alive| / n),
+        // giving contiguous blocks whose sizes differ by at most one.
+        let assignment_regions: Vec<RegionId> =
+            (0..n).map(|s| alive[s * alive.len() / n.max(1)]).collect();
+        let assignment = match &self.degraded {
+            Some(d) => place_in_regions_masked(
+                &assignment_regions,
+                regions,
+                self.options.placement,
+                &d.alive_cores,
+            )
+            .expect("locality schedule only targets alive regions"),
+            None => place_in_regions(&assignment_regions, regions, self.options.placement),
+        };
+        NestMapping {
+            nest: nest_id,
+            sets: sets.to_vec(),
+            regions: assignment_regions,
+            assignment,
+            balance: BalanceReport { moved: 0, total: n },
+            needs_inspector: false,
+            mai: Vec::new(),
+            cai: Vec::new(),
+            alphas: Vec::new(),
+        }
+    }
+
+    /// Convenience: the [`Compiler::locality_schedule`] heuristic for a
+    /// whole nest — the quality-ladder floor a shedding session serves
+    /// when the full pipeline is over budget.
+    pub fn heuristic_mapping(&self, program: &Program, nest_id: NestId) -> NestMapping {
+        let nest = program.nest(nest_id);
+        let space = IterationSpace::enumerate(nest, &program.params());
+        let sets = space.split_by_fraction(self.options.iteration_set_fraction);
+        self.locality_schedule(nest_id, &sets)
     }
 }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 mod affinity;
 mod assign;
 mod balance;
@@ -62,7 +63,14 @@ pub mod resilience;
 mod session;
 mod vectors;
 
-pub use affinity::{compute_cai, compute_cai_reaching, compute_mai, mean_eta, AffinityInputs};
+pub use admission::{
+    AdmissionConfig, AdmissionQueue, BreakerConfig, BreakerState, CircuitBreaker, Priority,
+    QualityLevel, TryMapError,
+};
+pub use affinity::{
+    compute_cai, compute_cai_ctl, compute_cai_reaching, compute_cai_reaching_ctl, compute_mai,
+    compute_mai_ctl, mean_eta, AffinityInputs,
+};
 pub use assign::{assign_private, assign_shared, AlphaPolicy};
 pub use balance::{balance_regions, balance_regions_masked, region_loads, BalanceReport};
 pub use cache::CacheStats;
@@ -76,7 +84,10 @@ pub use resilience::{
 };
 pub use placement::{place_in_regions, place_in_regions_masked, PlacementPolicy};
 pub use platform::{LlcOrg, Platform};
-pub use session::{MapRequest, MapResponse, MappingSession, MappingSessionBuilder, SessionStats};
+pub use session::{
+    AdmitTicket, MapRequest, MapResponse, MappingSession, MappingSessionBuilder, ServedMapping,
+    SessionStats,
+};
 pub use vectors::{AffinityVec, EtaMetric, Mac, MacPolicy, Cac, CacPolicy};
 
 /// One-line import for the common mapping workflow.
@@ -89,13 +100,16 @@ pub use vectors::{AffinityVec, EtaMetric, Mac, MacPolicy, Cac, CacPolicy};
 /// (this crate cannot re-export them — the dependency points the other
 /// way).
 pub mod prelude {
+    pub use crate::admission::{AdmissionConfig, Priority, QualityLevel, TryMapError};
     pub use crate::compiler::{Compiler, CompilerBuilder, MappingOptions, NestMapping};
     pub use crate::platform::{LlcOrg, Platform};
     pub use crate::session::{
-        MapRequest, MapResponse, MappingSession, MappingSessionBuilder, SessionStats,
+        MapRequest, MapResponse, MappingSession, MappingSessionBuilder, ServedMapping,
+        SessionStats,
     };
     pub use locmap_loopir::{Access, AffineExpr, DataEnv, LoopNest, NestId, Program};
     pub use locmap_noc::{
-        FaultPlan, FaultState, LocmapError, Mesh, NodeId, RegionGrid, RegionId,
+        Budget, CancelToken, FaultPlan, FaultState, LocmapError, Mesh, NodeId, RegionGrid,
+        RegionId, RunControl,
     };
 }

@@ -14,17 +14,21 @@
 //! results for 1 worker, N workers, or a plain serial `map_nest` loop —
 //! a property the workspace proptests enforce.
 
+use crate::admission::{
+    AdmissionConfig, BreakerState, CircuitBreaker, Priority, QualityLevel, TryMapError,
+};
 use crate::cache::{
-    fingerprint, hash_cme_options, hash_options, hash_platform, hash_request, CacheStats,
+    fingerprint, hash_cme_options, hash_options, hash_platform, hash_request, CacheKey, CacheStats,
     MemoCache,
 };
 use crate::compiler::{Compiler, MappingOptions, NestMapping};
 use crate::platform::Platform;
 use locmap_cme::CmeEstimate;
 use locmap_loopir::{DataEnv, NestId, Program};
-use locmap_noc::{FaultState, LocmapError};
+use locmap_noc::{FaultState, LocmapError, RunControl};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One unit of batch work: map `nest` of `program` given `data`.
 ///
@@ -51,6 +55,17 @@ pub struct MapResponse {
     pub cache_hit: bool,
 }
 
+/// A response plus the rung of the quality ladder that actually produced
+/// it (which may be lower than the rung chosen at admission, if the
+/// expensive path blew its budget or the circuit breaker was open).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedMapping {
+    /// The mapping answer.
+    pub response: MapResponse,
+    /// The quality rung that produced [`ServedMapping::response`].
+    pub quality: QualityLevel,
+}
+
 /// Cache counters of a session, split by table.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SessionStats {
@@ -69,6 +84,7 @@ pub struct MappingSessionBuilder {
     options: MappingOptions,
     threads: usize,
     faults: Option<FaultState>,
+    admission: AdmissionConfig,
 }
 
 impl MappingSessionBuilder {
@@ -92,6 +108,13 @@ impl MappingSessionBuilder {
         self
     }
 
+    /// Replaces the admission-control tuning (default:
+    /// [`AdmissionConfig::default`]).
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Builds the session; fails like [`crate::CompilerBuilder::build`]
     /// when the fault state leaves nothing to map onto.
     pub fn build(self) -> Result<MappingSession, LocmapError> {
@@ -107,8 +130,22 @@ impl MappingSessionBuilder {
             epoch: 0,
             mappings: MemoCache::new(),
             cme: MemoCache::new(),
+            admission: self.admission,
+            gate: Mutex::new(Gate {
+                depth: 0,
+                breaker: CircuitBreaker::new(self.admission.breaker),
+            }),
         })
     }
+}
+
+/// Shared admission state: the in-flight count (the "queue depth" the
+/// quality ladder keys off) and the circuit breaker around the expensive
+/// path.
+#[derive(Debug)]
+struct Gate {
+    depth: usize,
+    breaker: CircuitBreaker,
 }
 
 /// A long-lived batch-mapping engine: owns a [`Platform`] (via its
@@ -146,6 +183,8 @@ pub struct MappingSession {
     epoch: u64,
     mappings: MemoCache<NestMapping>,
     cme: MemoCache<Option<CmeEstimate>>,
+    admission: AdmissionConfig,
+    gate: Mutex<Gate>,
 }
 
 impl MappingSession {
@@ -156,6 +195,7 @@ impl MappingSession {
             options: MappingOptions::default(),
             threads: 1,
             faults: None,
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -214,59 +254,262 @@ impl MappingSession {
     /// `out[i]` answers `requests[i]`; results are bit-identical to calling
     /// [`Compiler::map_nest`] serially per request, for any worker count.
     pub fn map_batch(&self, requests: &[MapRequest<'_>]) -> Vec<MapResponse> {
+        self.map_batch_ctl(requests, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`MappingSession::map_batch`] under a shared deadline/cancellation
+    /// [`RunControl`].
+    ///
+    /// All workers draw down the same budget and observe the same token.
+    /// On abort the batch returns the typed error of the lowest-indexed
+    /// failing request; requests that finished before the abort have
+    /// their results cached normally (the memo tables are never poisoned
+    /// by an abort), so a retried batch resumes from what was completed.
+    pub fn map_batch_ctl(
+        &self,
+        requests: &[MapRequest<'_>],
+        ctl: &RunControl,
+    ) -> Result<Vec<MapResponse>, LocmapError> {
         let workers = self.threads.min(requests.len()).max(1);
         if workers == 1 {
-            return requests.iter().map(|r| self.map_one(r)).collect();
+            return requests.iter().map(|r| self.map_one_ctl(r, ctl)).collect();
         }
 
         // Dynamic dispatch: workers pull the next unclaimed request index,
         // so imbalanced kernels don't idle a statically partitioned pool.
         let next = AtomicUsize::new(0);
-        let mut collected: Vec<Vec<(usize, MapResponse)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= requests.len() {
-                                break;
+        let mut collected: Vec<Vec<(usize, Result<MapResponse, LocmapError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= requests.len() {
+                                    break;
+                                }
+                                local.push((i, self.map_one_ctl(&requests[i], ctl)));
                             }
-                            local.push((i, self.map_one(&requests[i])));
-                        }
-                        local
+                            local
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("mapping worker panicked")).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("mapping worker panicked")).collect()
+            });
 
-        let mut out: Vec<Option<MapResponse>> = vec![None; requests.len()];
+        let mut out: Vec<Option<Result<MapResponse, LocmapError>>> = vec![None; requests.len()];
         for (i, resp) in collected.drain(..).flatten() {
             out[i] = Some(resp);
         }
-        out.into_iter().map(|r| r.expect("every request index was claimed exactly once")).collect()
+        let mut responses = Vec::with_capacity(requests.len());
+        for slot in out {
+            responses.push(slot.expect("every request index was claimed exactly once")?);
+        }
+        Ok(responses)
     }
 
     /// Maps a single request through the caches.
     pub fn map_one(&self, r: &MapRequest<'_>) -> MapResponse {
-        let key = fingerprint(|h| {
+        self.map_one_ctl(r, &RunControl::unlimited())
+            .expect("an unlimited RunControl never aborts")
+    }
+
+    /// [`MappingSession::map_one`] under a deadline/cancellation
+    /// [`RunControl`].
+    ///
+    /// An abort mid-computation removes the in-flight cache slot rather
+    /// than poisoning it: concurrent waiters on the same key wake and
+    /// re-claim, and a later retry of the same request computes fresh.
+    pub fn map_one_ctl(
+        &self,
+        r: &MapRequest<'_>,
+        ctl: &RunControl,
+    ) -> Result<MapResponse, LocmapError> {
+        let (mapping, cache_hit) = self.mappings.get_or_try_insert_with(self.mapping_key(r), || {
+            let (estimate, _) = self.cme.get_or_try_insert_with(self.cme_key(r), || {
+                self.compiler.estimate_nest_ctl(r.program, r.nest, r.data, ctl)
+            })?;
+            self.compiler.map_nest_with_estimate_ctl(r.program, r.nest, r.data, estimate, ctl)
+        })?;
+        Ok(MapResponse { mapping, cache_hit })
+    }
+
+    /// Answers a request from the memo cache alone (the
+    /// [`QualityLevel::Cached`] rung): no estimation, no mapping — `None`
+    /// on a miss.
+    pub fn cached_one(&self, r: &MapRequest<'_>) -> Option<MapResponse> {
+        self.mappings
+            .get(&self.mapping_key(r))
+            .map(|mapping| MapResponse { mapping, cache_hit: true })
+    }
+
+    /// Answers a request with the round-robin-with-locality heuristic
+    /// (the [`QualityLevel::Heuristic`] rung): O(sets), no CME, no
+    /// affinity analysis, never blocks and never fails.
+    pub fn heuristic_one(&self, r: &MapRequest<'_>) -> MapResponse {
+        MapResponse { mapping: self.compiler.heuristic_mapping(r.program, r.nest), cache_hit: false }
+    }
+
+    /// The session's admission-control tuning.
+    pub fn admission(&self) -> &AdmissionConfig {
+        &self.admission
+    }
+
+    /// Requests currently holding an admission slot.
+    pub fn in_flight(&self) -> usize {
+        self.gate.lock().expect("admission gate poisoned").depth
+    }
+
+    /// The circuit breaker's current position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.gate.lock().expect("admission gate poisoned").breaker.state()
+    }
+
+    /// Claims a slot in the bounded admission queue, or sheds the request
+    /// with [`TryMapError::QueueFull`] when the session is at capacity.
+    ///
+    /// The returned ticket pins the [`QualityLevel`] chosen from the
+    /// depth at admission and the request's [`Priority`]; dropping it
+    /// releases the slot. Open-loop drivers admit at arrival time and
+    /// serve later, so backpressure reflects true queue occupancy.
+    pub fn try_admit(&self, priority: Priority) -> Result<AdmitTicket<'_>, TryMapError> {
+        let mut gate = self.gate.lock().expect("admission gate poisoned");
+        if gate.depth >= self.admission.capacity {
+            return Err(TryMapError::QueueFull {
+                depth: gate.depth,
+                capacity: self.admission.capacity,
+            });
+        }
+        gate.depth += 1;
+        let depth = gate.depth;
+        drop(gate);
+        let quality = self.admission.quality_for(depth, priority);
+        Ok(AdmitTicket { session: self, priority, quality, depth })
+    }
+
+    /// Serves an admitted request, walking down the quality ladder:
+    ///
+    /// 1. At [`QualityLevel::Full`] (and breaker willing), the complete
+    ///    CME + η-minimization pipeline under `ctl`'s budget. A budget
+    ///    blow strikes the breaker and falls through; a cancellation
+    ///    propagates (the client is gone — nothing cheaper helps).
+    /// 2. At [`QualityLevel::Cached`], a memo-table lookup.
+    /// 3. At [`QualityLevel::Heuristic`] (or on a cache miss), the
+    ///    locality heuristic, which always succeeds.
+    ///
+    /// Requests whose wall deadline already expired are dropped with
+    /// [`TryMapError::DeadlineExpired`] before any work is spent.
+    pub fn serve(
+        &self,
+        ticket: &AdmitTicket<'_>,
+        r: &MapRequest<'_>,
+        ctl: &RunControl,
+    ) -> Result<ServedMapping, TryMapError> {
+        if ctl.wall_expired() {
+            return Err(TryMapError::DeadlineExpired);
+        }
+        let mut level = ticket.quality();
+        if level == QualityLevel::Full {
+            let admitted =
+                self.gate.lock().expect("admission gate poisoned").breaker.admit_expensive();
+            if admitted {
+                match self.map_one_ctl(r, ctl) {
+                    Ok(response) => {
+                        self.gate
+                            .lock()
+                            .expect("admission gate poisoned")
+                            .breaker
+                            .record_success();
+                        return Ok(ServedMapping { response, quality: QualityLevel::Full });
+                    }
+                    Err(e @ LocmapError::Cancelled { .. }) => return Err(TryMapError::Mapping(e)),
+                    Err(LocmapError::DeadlineExceeded { .. }) => {
+                        self.gate
+                            .lock()
+                            .expect("admission gate poisoned")
+                            .breaker
+                            .record_failure();
+                        level = QualityLevel::Cached;
+                    }
+                    Err(e) => return Err(TryMapError::Mapping(e)),
+                }
+            } else {
+                level = QualityLevel::Cached;
+            }
+        }
+        if level == QualityLevel::Cached {
+            if let Some(response) = self.cached_one(r) {
+                return Ok(ServedMapping { response, quality: QualityLevel::Cached });
+            }
+        }
+        Ok(ServedMapping { response: self.heuristic_one(r), quality: QualityLevel::Heuristic })
+    }
+
+    /// Admission + serving in one call: the closed-loop convenience over
+    /// [`MappingSession::try_admit`] / [`MappingSession::serve`].
+    pub fn try_map_one(
+        &self,
+        r: &MapRequest<'_>,
+        priority: Priority,
+        ctl: &RunControl,
+    ) -> Result<ServedMapping, TryMapError> {
+        let ticket = self.try_admit(priority)?;
+        self.serve(&ticket, r, ctl)
+    }
+
+    fn mapping_key(&self, r: &MapRequest<'_>) -> CacheKey {
+        fingerprint(|h| {
             hash_platform(h, &self.platform);
             hash_options(h, &self.options);
             h.write_u64(self.epoch);
             hash_request(h, r.program, r.nest, r.data);
-        });
-        let (mapping, cache_hit) = self.mappings.get_or_insert_with(key, || {
-            let cme_key = fingerprint(|h| {
-                hash_cme_options(h, &self.options);
-                hash_request(h, r.program, r.nest, r.data);
-            });
-            let (estimate, _) = self
-                .cme
-                .get_or_insert_with(cme_key, || self.compiler.estimate_nest(r.program, r.nest, r.data));
-            self.compiler.map_nest_with_estimate(r.program, r.nest, r.data, estimate)
-        });
-        MapResponse { mapping, cache_hit }
+        })
+    }
+
+    fn cme_key(&self, r: &MapRequest<'_>) -> CacheKey {
+        fingerprint(|h| {
+            hash_cme_options(h, &self.options);
+            hash_request(h, r.program, r.nest, r.data);
+        })
+    }
+}
+
+/// A held slot in a session's bounded admission queue.
+///
+/// Created by [`MappingSession::try_admit`]; dropping it releases the
+/// slot, so shed-or-serve accounting stays balanced on every path
+/// (including panics and early returns).
+#[derive(Debug)]
+pub struct AdmitTicket<'s> {
+    session: &'s MappingSession,
+    priority: Priority,
+    quality: QualityLevel,
+    depth: usize,
+}
+
+impl AdmitTicket<'_> {
+    /// The class the request was admitted under.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The quality rung chosen at admission (the ladder may still fall
+    /// lower while serving; it never climbs higher).
+    pub fn quality(&self) -> QualityLevel {
+        self.quality
+    }
+
+    /// Queue depth at admission, this request included.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for AdmitTicket<'_> {
+    fn drop(&mut self) {
+        self.session.gate.lock().expect("admission gate poisoned").depth -= 1;
     }
 }
 
@@ -372,6 +615,196 @@ mod tests {
         let back = session.map_batch(&req);
         assert!(!back[0].cache_hit, "epoch 2 key differs from epoch 0");
         assert_eq!(back[0].mapping, clean, "fault-free mapping is restored bit for bit");
+    }
+
+    #[test]
+    fn ctl_paths_are_bit_identical_to_plain_paths() {
+        let (p, id) = stream("ctl", 4096);
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).threads(3).build().unwrap();
+        let r = MapRequest { program: &p, nest: id, data: &data };
+        let plain = session.map_one(&r);
+        let fresh = MappingSession::builder(Platform::paper_default()).threads(3).build().unwrap();
+        let ctl = RunControl::unlimited();
+        let under_ctl = fresh.map_one_ctl(&r, &ctl).unwrap();
+        assert_eq!(plain, under_ctl);
+        assert_eq!(
+            fresh.map_batch_ctl(&[r, r], &RunControl::unlimited()).unwrap(),
+            fresh.map_batch(&[r, r])
+        );
+    }
+
+    #[test]
+    fn aborted_request_never_poisons_the_caches() {
+        use locmap_noc::{Budget, CancelToken};
+        let (p, id) = stream("abort", 4096);
+        let data = DataEnv::new();
+        let r = MapRequest { program: &p, nest: id, data: &data };
+
+        // Measure the work of the CME stage alone and of the full pipeline.
+        let probe = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let est_ctl = RunControl::unlimited();
+        probe.compiler().estimate_nest_ctl(&p, id, &data, &est_ctl).unwrap();
+        let cme_units = est_ctl.spent_units();
+        let full_ctl = RunControl::unlimited();
+        let baseline = probe.map_one_ctl(&r, &full_ctl).unwrap();
+        drop(probe);
+        let total_units = full_ctl.spent_units();
+        assert!(total_units > cme_units, "the mapping stage does measurable work");
+
+        // A budget that covers the estimate but not the mapping cancels the
+        // request *between* the two cache stages.
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let budget = Budget::unlimited().with_work_units((cme_units + total_units) / 2);
+        let ctl = RunControl::new(CancelToken::new(), budget);
+        let err = session.map_one_ctl(&r, &ctl).unwrap_err();
+        assert!(matches!(err, LocmapError::DeadlineExceeded { .. }), "got {err:?}");
+        let stats = session.cache_stats();
+        assert_eq!(stats.cme.entries, 1, "the completed CME stage stays cached");
+        assert_eq!(stats.mappings.entries, 0, "the aborted mapping leaves no slot behind");
+
+        // The same request retried with no limits computes fresh — no
+        // poisoned slot, bit-identical to an uncancelled run — and only
+        // then becomes a hit.
+        let retry = session.map_one(&r);
+        assert!(!retry.cache_hit);
+        assert_eq!(retry.mapping, baseline.mapping);
+        assert!(session.map_one(&r).cache_hit);
+
+        // A token cancelled before any work leaves both caches untouched.
+        let cold = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let ctl = RunControl::new(CancelToken::cancel_after_polls(0), Budget::unlimited());
+        assert!(matches!(
+            cold.map_one_ctl(&r, &ctl),
+            Err(LocmapError::Cancelled { .. })
+        ));
+        assert_eq!(cold.cache_stats().cme.entries, 0);
+        assert_eq!(cold.cache_stats().mappings.entries, 0);
+    }
+
+    #[test]
+    fn cancellation_latency_is_bounded_by_one_checkpoint() {
+        use locmap_noc::{Budget, CancelToken};
+        let (p, id) = stream("latency", 4096);
+        let data = DataEnv::new();
+        let session = MappingSession::builder(Platform::paper_default()).build().unwrap();
+        let r = MapRequest { program: &p, nest: id, data: &data };
+        // The token trips on the very first observation: the pipeline may
+        // finish at most the one checkpoint interval of work already in
+        // flight before returning the typed error.
+        let ctl = RunControl::new(CancelToken::cancel_after_polls(1), Budget::unlimited());
+        let err = session.map_one_ctl(&r, &ctl).unwrap_err();
+        assert!(matches!(err, LocmapError::Cancelled { .. }));
+        assert!(
+            ctl.spent_units() <= locmap_cme::CHECKPOINT_INTERVAL,
+            "cancellation latency exceeded one checkpoint interval: {} units",
+            ctl.spent_units()
+        );
+    }
+
+    #[test]
+    fn admission_queue_bounds_in_flight_requests() {
+        let session = MappingSession::builder(Platform::paper_default())
+            .admission(AdmissionConfig { capacity: 2, ..AdmissionConfig::default() })
+            .build()
+            .unwrap();
+        let a = session.try_admit(Priority::Normal).unwrap();
+        let b = session.try_admit(Priority::High).unwrap();
+        assert_eq!(session.in_flight(), 2);
+        let err = session.try_admit(Priority::High).unwrap_err();
+        assert_eq!(err, TryMapError::QueueFull { depth: 2, capacity: 2 });
+        drop(b);
+        assert_eq!(session.in_flight(), 1);
+        let c = session.try_admit(Priority::Low).unwrap();
+        assert_eq!(c.depth(), 2);
+        drop((a, c));
+        assert_eq!(session.in_flight(), 0);
+    }
+
+    #[test]
+    fn quality_ladder_degrades_with_depth_and_priority() {
+        let (p, id) = stream("ladder", 4096);
+        let data = DataEnv::new();
+        let cfg = AdmissionConfig {
+            capacity: 8,
+            degrade_depth: 2,
+            heuristic_depth: 4,
+            ..AdmissionConfig::default()
+        };
+        let session =
+            MappingSession::builder(Platform::paper_default()).admission(cfg).build().unwrap();
+        let r = MapRequest { program: &p, nest: id, data: &data };
+
+        // Alone in the queue: full quality, same answer as map_one.
+        let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Full);
+        assert_eq!(served.response.mapping, session.map_one(&r).mapping);
+
+        // Past degrade_depth: served from cache (it was just warmed).
+        let _hold: Vec<_> = (0..2).map(|_| session.try_admit(Priority::Low).unwrap()).collect();
+        let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Cached);
+        assert!(served.response.cache_hit);
+        // High priority tolerates the same depth at full quality.
+        let served = session.try_map_one(&r, Priority::High, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Full);
+
+        // Past heuristic_depth: the locality heuristic answers.
+        let _more: Vec<_> = (0..2).map(|_| session.try_admit(Priority::Low).unwrap()).collect();
+        let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Heuristic);
+        assert_eq!(served.response, session.heuristic_one(&r));
+
+        // A cold cache at the Cached rung also falls to the heuristic.
+        let cold = MappingSession::builder(Platform::paper_default()).admission(cfg).build().unwrap();
+        let _hold: Vec<_> = (0..2).map(|_| cold.try_admit(Priority::Low).unwrap()).collect();
+        let served = cold.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Heuristic);
+    }
+
+    #[test]
+    fn breaker_trips_to_heuristic_and_recovers_via_probes() {
+        use crate::admission::BreakerConfig;
+        use locmap_noc::{Budget, CancelToken};
+        let (p, id) = stream("breaker", 4096);
+        let data = DataEnv::new();
+        let cfg = AdmissionConfig {
+            breaker: BreakerConfig {
+                strike_threshold: 3,
+                strike_window: 16,
+                cooldown: 8,
+                half_open_probes: 2,
+            },
+            ..AdmissionConfig::default()
+        };
+        let session =
+            MappingSession::builder(Platform::paper_default()).admission(cfg).build().unwrap();
+        let r = MapRequest { program: &p, nest: id, data: &data };
+        let starved = || RunControl::new(CancelToken::new(), Budget::unlimited().with_work_units(1));
+
+        // Three budget blows in a row strike the breaker open; each falls
+        // back down the ladder instead of failing the request.
+        for _ in 0..3 {
+            let served = session.try_map_one(&r, Priority::Normal, &starved()).unwrap();
+            assert_eq!(served.quality, QualityLevel::Heuristic);
+        }
+        assert_eq!(session.breaker_state(), BreakerState::Open);
+
+        // While open, even unlimited requests bypass the expensive path.
+        for _ in 0..7 {
+            let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+            assert_eq!(served.quality, QualityLevel::Heuristic);
+        }
+        assert_eq!(session.breaker_state(), BreakerState::Open);
+
+        // The cool-down elapses (in observations): a probe runs the full
+        // pipeline again, and enough successes close the breaker.
+        let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Full);
+        assert_eq!(session.breaker_state(), BreakerState::HalfOpen);
+        let served = session.try_map_one(&r, Priority::Normal, &RunControl::unlimited()).unwrap();
+        assert_eq!(served.quality, QualityLevel::Full);
+        assert_eq!(session.breaker_state(), BreakerState::Closed);
     }
 
     #[test]

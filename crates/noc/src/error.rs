@@ -55,6 +55,25 @@ pub enum LocmapError {
     /// (all memory controllers dead, repair scheduled before injection,
     /// the same component injected twice, ...).
     FaultConflict(String),
+    /// A cooperative [`CancelToken`](crate::CancelToken) was observed
+    /// mid-run. `completed`/`total` report the caller-defined progress
+    /// (iterations, sets, requests) reached when the abort took effect.
+    Cancelled {
+        /// Progress units finished before the abort.
+        completed: usize,
+        /// Total progress units the run would have performed.
+        total: usize,
+    },
+    /// A [`Budget`](crate::Budget) limit (work units or wall clock) was
+    /// exhausted mid-run.
+    DeadlineExceeded {
+        /// Progress units finished before the abort.
+        completed: usize,
+        /// Total progress units the run would have performed.
+        total: usize,
+        /// Deterministic work units spent when the budget tripped.
+        spent_units: u64,
+    },
 }
 
 impl fmt::Display for LocmapError {
@@ -68,6 +87,13 @@ impl fmt::Display for LocmapError {
                 write!(f, "region R{} has no surviving cores to place work on", r + 1)
             }
             LocmapError::FaultConflict(msg) => write!(f, "conflicting fault plan: {msg}"),
+            LocmapError::Cancelled { completed, total } => {
+                write!(f, "cancelled after {completed}/{total} units of work")
+            }
+            LocmapError::DeadlineExceeded { completed, total, spent_units } => write!(
+                f,
+                "deadline exceeded after {completed}/{total} units of work ({spent_units} budget units spent)"
+            ),
         }
     }
 }
@@ -100,6 +126,10 @@ mod tests {
         assert!(e.to_string().contains("n0") && e.to_string().contains("n7"));
         let e = LocmapError::EmptyRegion(3);
         assert!(e.to_string().contains("R4"));
+        let e = LocmapError::Cancelled { completed: 3, total: 8 };
+        assert!(e.to_string().contains("3/8"));
+        let e = LocmapError::DeadlineExceeded { completed: 1, total: 2, spent_units: 99 };
+        assert!(e.to_string().contains("deadline") && e.to_string().contains("99"));
     }
 
     #[test]

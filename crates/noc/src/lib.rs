@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod control;
 mod error;
 mod faults;
 mod mc;
@@ -40,6 +41,7 @@ mod routing;
 mod stats;
 mod topology;
 
+pub use control::{Budget, CancelToken, RunControl};
 pub use error::{LocmapError, RouteError};
 pub use faults::{
     link_exists, opposite, reverse_link, FaultComponent, FaultCounts, FaultEvent, FaultPlan,

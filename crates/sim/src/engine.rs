@@ -9,7 +9,7 @@ use locmap_loopir::{Access, DataEnv, Program};
 use locmap_mem::{Access as MemAccess, Cache, Directory, Dram, PhysAddr};
 use locmap_noc::{
     route_xy, route_xy_torus, FaultComponent, FaultPlan, FaultState, LocmapError, McId,
-    MessageKind, Network, NodeId, TopologyKind,
+    MessageKind, Network, NodeId, RunControl, TopologyKind,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -302,10 +302,31 @@ impl Simulator {
         data: &DataEnv,
         addr_offset: u64,
     ) -> RunResult {
-        match self.run_nest_inner(program, mapping, data, addr_offset, None) {
+        match self.run_nest_inner(program, mapping, data, addr_offset, None, None) {
             Ok(r) => r,
             Err(e) => unreachable!("timeline-free runs cannot fault: {e}"),
         }
+    }
+
+    /// [`Simulator::run_nest`] under a deadline/cancellation
+    /// [`RunControl`].
+    ///
+    /// The engine checkpoints `ctl` once per simulated iteration (one
+    /// work unit each), so a cancellation or exhausted budget is observed
+    /// within one iteration's worth of host work and surfaces as
+    /// [`SimError::Aborted`] carrying the metrics accumulated so far.
+    /// With an unlimited control the result is bit-identical to
+    /// [`Simulator::run_nest`]. The machine state (caches, network) is
+    /// left as of the abort point — call [`Simulator::reset`] before
+    /// reusing the simulator for an unrelated experiment.
+    pub fn run_nest_ctl(
+        &mut self,
+        program: &Program,
+        mapping: &NestMapping,
+        data: &DataEnv,
+        ctl: &RunControl,
+    ) -> Result<RunResult, SimError> {
+        self.run_nest_inner(program, mapping, data, 0, None, Some(ctl))
     }
 
     /// Executes one mapped nest while `plan`'s fault clock advances.
@@ -349,7 +370,7 @@ impl Simulator {
         let boundaries: Vec<u64> =
             plan.change_cycles().into_iter().filter(|&b| b > start_cycle).collect();
         let ctx = TimelineCtx { plan, start_cycle, boundaries, next: 0 };
-        self.run_nest_inner(program, mapping, data, 0, Some(ctx))
+        self.run_nest_inner(program, mapping, data, 0, Some(ctx), None)
     }
 
     fn run_nest_inner(
@@ -359,6 +380,7 @@ impl Simulator {
         data: &DataEnv,
         addr_offset: u64,
         mut timeline: Option<TimelineCtx>,
+        ctl: Option<&RunControl>,
     ) -> Result<RunResult, SimError> {
         // The run's clock starts at zero: release link and bank occupancy
         // left over from earlier runs (cache contents stay warm).
@@ -412,6 +434,7 @@ impl Simulator {
         }
 
         let work_cycles = nest.work_per_iter as f64 * self.cfg.cpi_base;
+        let mut issued: usize = 0;
         loop {
             // A fault boundary fires before any iteration issuing at or
             // after it (injections take effect at their cycle). When the
@@ -521,6 +544,24 @@ impl Simulator {
             }
             clock[c] = t;
             done_iters[set_idx] += 1;
+            issued += 1;
+            // Cooperative overload control: one work unit per simulated
+            // iteration, so an abort is observed within one iteration of
+            // the token/budget tripping.
+            if let Some(ctl) = ctl {
+                if let Err(reason) = ctl.checkpoint(1, issued, space.len()) {
+                    let cycles = clock.iter().cloned().fold(0.0, f64::max) as u64;
+                    let partial = self.collect_result(
+                        &base,
+                        cycles,
+                        &counters,
+                        &mai_tally,
+                        &cai_tally,
+                        &access_tally,
+                    );
+                    return Err(SimError::Aborted { reason, partial: Box::new(partial) });
+                }
+            }
             if tracking {
                 footprint.start = rt;
                 footprint.end = t as u64;
@@ -1354,6 +1395,67 @@ mod tests {
             .unwrap();
         assert!(r.cycles > 0);
         assert!(sim.faults().is_some_and(FaultState::is_clean), "machine healed");
+    }
+
+    #[test]
+    fn run_nest_ctl_unlimited_is_bit_identical() {
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::builder(platform.clone()).build().unwrap();
+        let plain = sim.run_nest(&p, &mapping, &DataEnv::new());
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let under_ctl =
+            sim.run_nest_ctl(&p, &mapping, &DataEnv::new(), &RunControl::unlimited()).unwrap();
+        assert_eq!(plain.cycles, under_ctl.cycles);
+        assert_eq!(plain.network, under_ctl.network);
+        assert_eq!(plain.dram.requests, under_ctl.dram.requests);
+    }
+
+    #[test]
+    fn run_nest_ctl_budget_aborts_with_partial_metrics() {
+        use locmap_noc::{Budget, CancelToken};
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let budget = Budget::unlimited().with_work_units(500);
+        let ctl = RunControl::new(CancelToken::new(), budget);
+        let err = sim.run_nest_ctl(&p, &mapping, &DataEnv::new(), &ctl).unwrap_err();
+        match err {
+            SimError::Aborted { reason, partial } => {
+                assert!(
+                    matches!(reason, LocmapError::DeadlineExceeded { completed: 501, .. }),
+                    "{reason:?}"
+                );
+                assert!(partial.cycles > 0, "aborted run still accounts its spent work");
+                assert!(partial.l1.hits + partial.l1.misses > 0);
+            }
+            other => panic!("expected Aborted, got {other}"),
+        }
+        // The abort latency is exactly one iteration past the budget.
+        assert_eq!(ctl.spent_units(), 501);
+    }
+
+    #[test]
+    fn run_nest_ctl_cancellation_is_observed_within_one_iteration() {
+        use locmap_noc::{Budget, CancelToken};
+        let (p, id) = demo_program(10_000, 2);
+        let platform = Platform::paper_default();
+        let compiler = Compiler::builder(platform.clone()).build().unwrap();
+        let mapping = compiler.map_nest(&p, id, &DataEnv::new());
+        let mut sim = Simulator::builder(platform).build().unwrap();
+        let ctl = RunControl::new(CancelToken::cancel_after_polls(7), Budget::unlimited());
+        let err = sim.run_nest_ctl(&p, &mapping, &DataEnv::new(), &ctl).unwrap_err();
+        match err {
+            SimError::Aborted { reason, .. } => {
+                assert_eq!(reason, LocmapError::Cancelled { completed: 7, total: 10_000 });
+            }
+            other => panic!("expected Aborted, got {other}"),
+        }
+        assert_eq!(ctl.spent_units(), 7, "no work after the token tripped");
     }
 
     #[test]

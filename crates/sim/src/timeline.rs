@@ -73,6 +73,18 @@ pub enum SimError {
     /// The mapping is not runnable under the plan's state at the start
     /// cycle (work placed on a dead core); remap before running.
     InvalidMapping(String),
+    /// The run was cooperatively aborted through its
+    /// [`locmap_noc::RunControl`]: the budget ran out or the token was
+    /// cancelled ([`LocmapError::Cancelled`] /
+    /// [`LocmapError::DeadlineExceeded`], with iteration-level progress).
+    /// `partial` holds the metrics accumulated up to the abort point, so
+    /// overload harnesses can still account the work that was spent.
+    Aborted {
+        /// The typed cancellation/deadline error from the checkpoint.
+        reason: LocmapError,
+        /// Metrics of the aborted segment (cycles relative to its start).
+        partial: Box<RunResult>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +95,9 @@ impl fmt::Display for SimError {
                 write!(f, "machine unsurvivable at cycle {cycle}: {source}")
             }
             SimError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            SimError::Aborted { reason, partial } => {
+                write!(f, "simulation aborted after {} cycles: {reason}", partial.cycles)
+            }
         }
     }
 }
@@ -91,6 +106,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Unsurvivable { source, .. } => Some(source),
+            SimError::Aborted { reason, .. } => Some(reason),
             _ => None,
         }
     }

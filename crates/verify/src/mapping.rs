@@ -199,16 +199,22 @@ pub fn check_mapping(
         return;
     }
 
-    // (e) Inspector-deferred and default (round-robin) mappings carry no
-    // affinity vectors; the reference schedule is the location-blind deal
-    // over surviving cores, reproduced exactly.
+    // (e) Inspector-deferred, default (round-robin) and load-shed
+    // (locality-heuristic) mappings carry no affinity vectors; the
+    // reference schedule is one of the two vector-free deals over
+    // surviving cores, reproduced exactly.
     if mapping.needs_inspector || mapping.mai.is_empty() {
         let rr = compiler.round_robin_schedule(nest_id, &mapping.sets);
-        if rr.regions != mapping.regions || rr.assignment != mapping.assignment {
+        let rr_matches = rr.regions == mapping.regions && rr.assignment == mapping.assignment;
+        let loc = compiler.locality_schedule(nest_id, &mapping.sets);
+        let loc_matches = loc.regions == mapping.regions && loc.assignment == mapping.assignment;
+        if !rr_matches && !loc_matches {
             sink.emit(
                 Diagnostic::new(
                     Code::STALE_MAPPING,
-                    "round-robin mapping diverges from the deal over surviving cores".to_string(),
+                    "vector-free mapping diverges from both the round-robin and the \
+                     locality-heuristic deals over surviving cores"
+                        .to_string(),
                 )
                 .suggest("remap against the current fault state"),
             );

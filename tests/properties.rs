@@ -401,6 +401,87 @@ proptest! {
     }
 }
 
+// Cooperative cancellation extends the PR 2 serial-equivalence contract:
+// a batch under a CancelToken/Budget either returns the bit-identical
+// result of the uncancelled run or a typed abort — never a divergent
+// mapping, and never a poisoned memo cache.
+proptest! {
+    #[test]
+    fn cancelled_batch_is_all_or_typed_abort(
+        sizes in proptest::collection::vec(512u64..4096, 1..4),
+        repeats in 1usize..3,
+        threads in 1usize..4,
+        cancel_after in 0u64..40,
+        use_budget in 0u8..2,
+        budget_units in 1u64..20_000,
+    ) {
+        use locmap_noc::LocmapError;
+
+        let platform = Platform::paper_default();
+        let apps: Vec<(Program, NestId)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut p = Program::new(format!("cx{i}"));
+                let a = p.add_array("A", 8, n);
+                let b = p.add_array("B", 8, n);
+                let mut nest = LoopNest::rectangular("n", &[n as i64]);
+                nest.add_ref(a, AffineExpr::var(0, 1), Access::Write);
+                nest.add_ref(b, AffineExpr::var(0, 1), Access::Read);
+                let id = p.add_nest(nest);
+                (p, id)
+            })
+            .collect();
+        let data = DataEnv::new();
+        let reqs: Vec<MapRequest<'_>> = (0..repeats)
+            .flat_map(|_| {
+                apps.iter().map(|(p, id)| MapRequest { program: p, nest: *id, data: &data })
+            })
+            .collect();
+
+        let reference = MappingSession::builder(platform.clone()).threads(1).build().unwrap();
+        let expected = reference.map_batch(&reqs);
+
+        let session =
+            MappingSession::builder(platform.clone()).threads(threads).build().unwrap();
+        let ctl = if use_budget == 1 {
+            RunControl::new(CancelToken::new(), Budget::unlimited().with_work_units(budget_units))
+        } else {
+            RunControl::new(CancelToken::cancel_after_polls(cancel_after), Budget::unlimited())
+        };
+
+        match session.map_batch_ctl(&reqs, &ctl) {
+            Ok(out) => {
+                // An uninterrupted run must be bit-identical to the
+                // uncancelled serial reference — no third outcome.
+                for (e, o) in expected.iter().zip(&out) {
+                    prop_assert_eq!(&e.mapping, &o.mapping, "abort machinery changed a mapping");
+                }
+            }
+            Err(LocmapError::Cancelled { completed, total }) => {
+                prop_assert_eq!(use_budget, 0, "a budget abort must not report Cancelled");
+                prop_assert!(completed <= total, "progress {completed}/{total} overflows");
+            }
+            Err(LocmapError::DeadlineExceeded { spent_units, .. }) => {
+                prop_assert_eq!(use_budget, 1, "a token abort must not report DeadlineExceeded");
+                prop_assert!(
+                    spent_units >= budget_units,
+                    "abort before the budget was exhausted"
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected error variant: {e}"),
+        }
+
+        // Whatever happened, the memo caches are never poisoned: an
+        // unlimited retry on the same session matches the reference
+        // bit for bit.
+        let retry = session.map_batch(&reqs);
+        for (e, o) in expected.iter().zip(&retry) {
+            prop_assert_eq!(&e.mapping, &o.mapping, "abort poisoned a memo cache");
+        }
+    }
+}
+
 // Soundness of the static verifier (locmap-verify): the verifier accepts
 // everything the compiler produces, and rejects targeted corruptions with
 // the exact documented diagnostic code.
